@@ -1,0 +1,300 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arrow"
+	"repro/internal/core"
+	"repro/internal/counting"
+	"repro/internal/graph"
+	"repro/internal/nntsp"
+	"repro/internal/shm"
+	"repro/internal/tree"
+)
+
+// --- One benchmark per experiment table (E1–E12). Each bench runs the
+// experiment exactly as the harness does (quick sizes so the full bench
+// suite stays fast); the experiment functions validate the paper's
+// invariants internally and fail the benchmark on any violation. -----------
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	spec := core.Lookup(id)
+	if spec == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Run(core.Config{Quick: true, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1CountingLowerBound(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2DiameterLowerBound(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE3ArrowVsNNTSP(b *testing.B)       { benchExperiment(b, "E3") }
+func BenchmarkE4ListNNTSP(b *testing.B)          { benchExperiment(b, "E4") }
+func BenchmarkE5TreeNNTSP(b *testing.B)          { benchExperiment(b, "E5") }
+func BenchmarkE6HamiltonGraphs(b *testing.B)     { benchExperiment(b, "E6") }
+func BenchmarkE7MAryTrees(b *testing.B)          { benchExperiment(b, "E7") }
+func BenchmarkE8HighDiameter(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9Star(b *testing.B)               { benchExperiment(b, "E9") }
+func BenchmarkE10Fig1Semantics(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkE11SharedMemory(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12Ablations(b *testing.B)         { benchExperiment(b, "E12") }
+func BenchmarkE13LongLived(b *testing.B)         { benchExperiment(b, "E13") }
+func BenchmarkE14AsyncLinks(b *testing.B)        { benchExperiment(b, "E14") }
+func BenchmarkE15WorstCase(b *testing.B)         { benchExperiment(b, "E15") }
+func BenchmarkE16Addition(b *testing.B)          { benchExperiment(b, "E16") }
+
+// --- Protocol micro-benchmarks: the building blocks at fixed sizes. -------
+
+func allReq(n int) []bool {
+	r := make([]bool, n)
+	for i := range r {
+		r[i] = true
+	}
+	return r
+}
+
+func BenchmarkArrowOneShot(b *testing.B) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		mk   func() *tree.Tree
+	}{
+		{"list256", graph.Path(256), func() *tree.Tree {
+			order := make([]int, 256)
+			for i := range order {
+				order[i] = i
+			}
+			t, _ := tree.PathTree(order)
+			return t
+		}},
+		{"hypercube8", graph.Hypercube(8), func() *tree.Tree {
+			t, _ := tree.PathTree(graph.HypercubeHamiltonPath(8))
+			return t
+		}},
+		{"binary255", graph.PerfectMAryTree(2, 8), func() *tree.Tree {
+			t, _ := tree.BFSTree(graph.PerfectMAryTree(2, 8), 0)
+			return t
+		}},
+	}
+	for _, c := range cases {
+		tr := c.mk()
+		req := allReq(c.g.N())
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := arrow.RunOneShot(c.g, tr, tr.Root(), req, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTreeCount(b *testing.B) {
+	for _, side := range []int{8, 16} {
+		g := graph.Mesh(side, side)
+		tr, err := tree.BFSTree(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := allReq(g.N())
+		b.Run(fmt.Sprintf("mesh%dx%d", side, side), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tc, err := counting.NewTreeCount(tr, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := counting.Run(g, tc, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCountingNetwork(b *testing.B) {
+	g := graph.Complete(64)
+	parent := make([]int, 64)
+	for v := 1; v < 64; v++ {
+		parent[v] = (v - 1) / 2
+	}
+	tr := tree.MustFromParents(0, parent)
+	req := allReq(64)
+	for _, w := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cn, err := counting.NewCountNet(tr, req, w, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := counting.Run(g, cn, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNNTSP(b *testing.B) {
+	order := make([]int, 1024)
+	for i := range order {
+		order[i] = i
+	}
+	list, err := tree.PathTree(order)
+	if err != nil {
+		b.Fatal(err)
+	}
+	binary := tree.Perfect(2, 10)
+	reqsOf := func(n int) []int {
+		var reqs []int
+		for v := 0; v < n; v += 2 {
+			reqs = append(reqs, v)
+		}
+		return reqs
+	}
+	b.Run("list1024", func(b *testing.B) {
+		reqs := reqsOf(1024)
+		for i := 0; i < b.N; i++ {
+			if _, err := nntsp.Greedy(list, reqs, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary1023", func(b *testing.B) {
+		reqs := reqsOf(binary.N())
+		for i := 0; i < b.N; i++ {
+			if _, err := nntsp.Greedy(binary, reqs, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkBitonicQuiescent(b *testing.B) {
+	for _, w := range []int{8, 32} {
+		bn, err := counting.Bitonic(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := make([]int, w)
+		for i := range in {
+			in[i] = 16
+		}
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bn.Quiescent(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Shared-memory structures under real parallelism (RunParallel). -------
+
+func BenchmarkShmCounters(b *testing.B) {
+	b.Run("atomic", func(b *testing.B) {
+		c := shm.NewAtomicCounter()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("mutex", func(b *testing.B) {
+		c := shm.NewMutexCounter()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("combining", func(b *testing.B) {
+		c := shm.NewCombiningCounter(1024)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("network8", func(b *testing.B) {
+		c, err := shm.NewNetworkCounter(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("diffracting8", func(b *testing.B) {
+		c, err := shm.NewDiffractingCounter(8, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+}
+
+func BenchmarkShmLocks(b *testing.B) {
+	b.Run("clh", func(b *testing.B) {
+		l := shm.NewCLHLock()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				h := l.Lock()
+				l.Unlock(h)
+			}
+		})
+	})
+	b.Run("mcs", func(b *testing.B) {
+		l := shm.NewMCSLock()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				h := l.Lock()
+				l.Unlock(h)
+			}
+		})
+	})
+}
+
+func BenchmarkShmQueuers(b *testing.B) {
+	b.Run("swap", func(b *testing.B) {
+		q := shm.NewSwapQueue()
+		b.RunParallel(func(pb *testing.PB) {
+			id := int64(0)
+			for pb.Next() {
+				q.Enqueue(id)
+				id++
+			}
+		})
+	})
+	b.Run("list", func(b *testing.B) {
+		q := shm.NewListQueue()
+		b.RunParallel(func(pb *testing.PB) {
+			id := int64(0)
+			for pb.Next() {
+				q.Enqueue(id)
+				id++
+			}
+		})
+	})
+	b.Run("mutex", func(b *testing.B) {
+		q := shm.NewMutexQueue()
+		b.RunParallel(func(pb *testing.PB) {
+			id := int64(0)
+			for pb.Next() {
+				q.Enqueue(id)
+				id++
+			}
+		})
+	})
+}

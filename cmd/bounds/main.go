@@ -1,0 +1,62 @@
+// Command bounds prints the paper's symbolic bounds as numeric tables: the
+// tower function and log*, the exact influence recurrences a(t), b(t) of
+// Lemmas 3.2–3.4, and the counting lower bounds of Theorems 3.5/3.6 next
+// to the queuing upper bounds of Section 4.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/bounds"
+)
+
+func main() {
+	maxN := flag.Int("maxn", 1<<20, "largest n in the bound tables")
+	flag.Parse()
+
+	fmt.Println("tower function and log*:")
+	for j := 0; j <= 5; j++ {
+		tw := bounds.Tow(j)
+		if tw.BitLen() > 64 {
+			fmt.Printf("  tow(%d) = 2^65536 (%d bits)\n", j, tw.BitLen())
+			continue
+		}
+		fmt.Printf("  tow(%d) = %v  (log* = %d)\n", j, tw, bounds.LogStarInt(int(tw.Int64())))
+	}
+
+	fmt.Println("\nexact influence recurrences (Lemmas 3.2–3.4):")
+	fmt.Println("  t   a(t)                  b(t)")
+	r := bounds.NewRecurrence(5)
+	for t := 0; t <= 5; t++ {
+		fmt.Printf("  %d   %-20s  %s\n", t, trunc(r.A[t].String()), trunc(r.B[t].String()))
+	}
+
+	fmt.Println("\nmin rounds to output count k (Lemma 3.1 + recurrence):")
+	for _, k := range []int64{1, 2, 10, 100, 10000, 1 << 30, 1 << 62} {
+		fmt.Printf("  k=%-12d t ≥ %d\n", k, bounds.MinRoundsForCount(k))
+	}
+
+	fmt.Println("\ncounting lower bounds vs queuing upper bounds (all-request):")
+	fmt.Println("  n        LB thm3.5   LB exact   2×(3n) list UB   2×O(n log n) UB")
+	for n := 16; n <= *maxN; n *= 4 {
+		fmt.Printf("  %-8d %-11d %-10d %-16d %d\n",
+			n,
+			bounds.CountingLowerBoundTheorem35(n),
+			bounds.CountingLowerBoundExact(n),
+			2*bounds.QueuingUpperBoundList(n),
+			2*bounds.QueuingUpperBoundGeneral(n))
+	}
+
+	fmt.Println("\ndiameter lower bound Ω(α²) (Theorem 3.6):")
+	for _, alpha := range []int{10, 100, 1000, 10000} {
+		fmt.Printf("  α=%-6d LB = %d\n", alpha, bounds.DiameterLowerBound(alpha))
+	}
+}
+
+func trunc(s string) string {
+	if len(s) > 20 {
+		return s[:17] + "..."
+	}
+	return s
+}

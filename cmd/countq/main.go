@@ -1,0 +1,190 @@
+// Command countq runs the experiments reproducing Busch & Tirthapura,
+// "Concurrent counting is harder than queuing" (IPDPS 2006 / TCS 2010).
+//
+// Usage:
+//
+//	countq list                 # list all experiments
+//	countq run E1 E6 ...        # run selected experiments
+//	countq run all              # run the full suite
+//	countq compare -topo mesh2d -n 256
+//
+// Flags for run: -quick (small sizes), -seed N (workload seed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, s := range core.Experiments() {
+			fmt.Printf("%-4s %-70s %s\n", s.ID, s.Title, s.Ref)
+		}
+	case "run":
+		runCmd(os.Args[2:])
+	case "compare":
+		compareCmd(os.Args[2:])
+	case "trace":
+		traceCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: countq {list | run [-quick] [-seed N] <ids...|all> | compare [-topo T] [-n N] | trace [-n N] [-reqs K]}")
+}
+
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	n := fs.Int("n", 15, "tree size (perfect binary levels chosen to fit)")
+	k := fs.Int("reqs", 6, "number of lock/queue requests")
+	width := fs.Int("width", 72, "chart width")
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	out, err := core.TraceDemo(*n, *k, *width, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "countq trace:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "use the small problem sizes")
+	seed := fs.Int64("seed", 1, "workload seed")
+	format := fs.String("format", "text", "output format: text|csv|json|markdown")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "countq run: no experiment ids given (try 'all')")
+		os.Exit(2)
+	}
+	var specs []*core.Spec
+	if len(ids) == 1 && strings.EqualFold(ids[0], "all") {
+		specs = core.Experiments()
+	} else {
+		for _, id := range ids {
+			s := core.Lookup(id)
+			if s == nil {
+				fmt.Fprintf(os.Stderr, "countq run: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			specs = append(specs, s)
+		}
+	}
+	cfg := core.Config{Quick: *quick, Seed: *seed}
+	for _, s := range specs {
+		tbl, err := s.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "countq run %s: %v\n", s.ID, err)
+			os.Exit(1)
+		}
+		out, err := tbl.Format(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countq run:", err)
+			os.Exit(2)
+		}
+		fmt.Println(out)
+	}
+}
+
+func compareCmd(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	topo := fs.String("topo", "mesh2d", "topology: complete|mesh2d|mesh3d|hypercube|list|star|mary|caterpillar|ccc|debruijn")
+	n := fs.Int("n", 256, "approximate number of nodes")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	g, err := buildTopology(*topo, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "countq compare:", err)
+		os.Exit(2)
+	}
+	tbl, err := core.CompareOn(g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "countq compare:", err)
+		os.Exit(1)
+	}
+	fmt.Println(tbl.Render())
+}
+
+// buildTopology constructs the requested topology with roughly n nodes.
+func buildTopology(topo string, n int) (*graph.Graph, error) {
+	switch topo {
+	case "complete":
+		return graph.Complete(n), nil
+	case "list":
+		return graph.Path(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "mesh2d":
+		side := intSqrt(n)
+		return graph.Mesh(side, side), nil
+	case "mesh3d":
+		side := intCbrt(n)
+		return graph.Mesh(side, side, side), nil
+	case "hypercube":
+		d := 0
+		for 1<<uint(d+1) <= n {
+			d++
+		}
+		return graph.Hypercube(d), nil
+	case "mary":
+		levels := 1
+		for size := 1; size*3+1 <= n; {
+			size = size*3 + 1
+			levels++
+		}
+		return graph.PerfectMAryTree(3, levels), nil
+	case "caterpillar":
+		return graph.Caterpillar(n, 0.75), nil
+	case "ccc":
+		d := 3
+		for (d+1)*(1<<uint(d+1)) <= n {
+			d++
+		}
+		return graph.CubeConnectedCycles(d), nil
+	case "debruijn":
+		d := 1
+		for 1<<uint(d+1) <= n {
+			d++
+		}
+		return graph.DeBruijn(d), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topo)
+	}
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+func intCbrt(n int) int {
+	s := 1
+	for (s+1)*(s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+// Command nntsp explores nearest-neighbour TSP tours on tree metrics — the
+// combinatorial quantity behind the paper's queuing upper bound
+// (Theorem 4.1, Lemmas 4.3–4.10).
+//
+// Usage:
+//
+//	nntsp -tree list -n 256 -density 0.5 -trials 20
+//	nntsp -tree binary -levels 8
+//	nntsp -tree mary -m 3 -levels 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/bounds"
+	"repro/internal/nntsp"
+	"repro/internal/tree"
+)
+
+func main() {
+	treeKind := flag.String("tree", "list", "tree type: list|binary|mary")
+	n := flag.Int("n", 256, "list length (tree=list)")
+	levels := flag.Int("levels", 8, "tree levels (tree=binary|mary)")
+	m := flag.Int("m", 3, "arity (tree=mary)")
+	density := flag.Float64("density", 0.5, "request density")
+	trials := flag.Int("trials", 20, "number of random trials")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var tr *tree.Tree
+	switch *treeKind {
+	case "list":
+		order := make([]int, *n)
+		for i := range order {
+			order[i] = i
+		}
+		var err error
+		tr, err = tree.PathTree(order)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nntsp:", err)
+			os.Exit(1)
+		}
+	case "binary":
+		tr = tree.Perfect(2, *levels)
+	case "mary":
+		tr = tree.Perfect(*m, *levels)
+	default:
+		fmt.Fprintf(os.Stderr, "nntsp: unknown tree %q\n", *treeKind)
+		os.Exit(2)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	size := tr.N()
+	fmt.Printf("tree=%s n=%d height=%d maxdeg=%d\n", *treeKind, size, tr.Height(), tr.MaxDegree())
+	maxCost, maxRatio := 0, 0.0
+	for trial := 0; trial < *trials; trial++ {
+		var reqs []int
+		for v := 0; v < size; v++ {
+			if rng.Float64() < *density {
+				reqs = append(reqs, v)
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		start := tr.Root()
+		tour, err := nntsp.Greedy(tr, reqs, start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nntsp:", err)
+			os.Exit(1)
+		}
+		steiner := nntsp.SteinerEdges(tr, reqs, start)
+		ratio := 0.0
+		if steiner > 0 {
+			ratio = float64(tour.Cost) / float64(steiner)
+		}
+		if tour.Cost > maxCost {
+			maxCost = tour.Cost
+		}
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+		fmt.Printf("trial %2d: |R|=%4d cost=%5d steiner=%5d cost/steiner=%.2f\n",
+			trial, len(reqs), tour.Cost, steiner, ratio)
+		if *treeKind == "list" {
+			rd := nntsp.DecomposeListTour(tour.Order, start)
+			if err := rd.CheckLemma44(); err != nil {
+				fmt.Fprintln(os.Stderr, "nntsp: run inequality violated:", err)
+				os.Exit(1)
+			}
+		}
+		if *treeKind == "binary" {
+			if err := nntsp.CheckLemma49(tr, tour); err != nil {
+				fmt.Fprintln(os.Stderr, "nntsp: depth budget violated:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("max cost %d over %d trials (cost/n = %.2f, worst cost/steiner = %.2f)\n",
+		maxCost, *trials, float64(maxCost)/float64(size), maxRatio)
+	switch *treeKind {
+	case "list":
+		fmt.Printf("Lemma 4.3 bound 3n = %d — %v\n", bounds.QueuingUpperBoundList(size), maxCost <= 3*size)
+	case "binary":
+		b := bounds.QueuingUpperBoundPerfectBinary(size, tr.Height())
+		fmt.Printf("Theorem 4.7 budget 2d(d+1)+8n = %d — %v\n", b, maxCost <= b)
+	}
+}

@@ -1,0 +1,22 @@
+// Package repro is a Go reproduction of Costas Busch and Srikanta
+// Tirthapura, "Concurrent counting is harder than queuing" (IEEE IPDPS
+// 2006; Theoretical Computer Science 411, 2010).
+//
+// The repository contains a synchronous message-passing network simulator
+// implementing the paper's machine model, the arrow distributed queuing
+// protocol, a portfolio of distributed counting protocols (central,
+// aggregating tree, bitonic counting network), the nearest-neighbour TSP
+// machinery behind the queuing upper bound, exact evaluators for the
+// paper's lower bounds, and an experiment harness (E1–E12) that reproduces
+// every theorem and figure as a measurable table. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-versus-measured results.
+//
+// Benchmarks in bench_test.go regenerate each experiment:
+//
+//	go test -bench=. -benchmem
+//
+// The cmd/countq, cmd/nntsp and cmd/bounds executables expose the same
+// functionality on the command line, and examples/ holds four runnable
+// walkthroughs (quickstart, ordered multicast, distributed locking, and a
+// topology atlas).
+package repro

@@ -1,0 +1,138 @@
+// Ordered multicast: the motivating application from Section 1 of the
+// paper, implemented both ways.
+//
+// Totally ordered multicast requires every receiver to deliver the same
+// messages in the same order. The counting-based solution attaches a rank
+// from a distributed counter to each message; receivers deliver in rank
+// order. The queuing-based solution (Herlihy et al.) attaches the identity
+// of the predecessor message; receivers reconstruct the unique chain from
+// the head. The paper proves the queuing-based coordination is inherently
+// cheaper on most topologies — this example measures exactly that, then
+// verifies both schemes deliver identically on every receiver.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro/internal/arrow"
+	"repro/internal/counting"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+func main() {
+	// A 12×12 mesh; a third of the nodes multicast one message each.
+	g := graph.Mesh(12, 12)
+	n := g.N()
+	rng := rand.New(rand.NewSource(7))
+	senders := make([]bool, n)
+	for v := 0; v < n; v++ {
+		senders[v] = rng.Intn(3) == 0
+	}
+
+	// --- Coordination step, counting flavor -------------------------
+	bfs, err := tree.BFSTree(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counter, err := counting.NewTreeCount(bfs, senders)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cRes, err := counting.Run(g, counter, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Coordination step, queuing flavor ---------------------------
+	hp, err := tree.PathTree(graph.MeshHamiltonPath(12, 12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	qRes, err := arrow.RunOneShot(g, hp, hp.Root(), senders, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Delivery: receivers see messages in arbitrary arrival order;
+	// they deliver by the coordination metadata. -----------------------
+	var msgs []int
+	for v := 0; v < n; v++ {
+		if senders[v] {
+			msgs = append(msgs, v)
+		}
+	}
+	receivers := 5 // simulate a handful of receivers with shuffled arrivals
+	countingDeliveries := make([][]int, receivers)
+	queuingDeliveries := make([][]int, receivers)
+	for r := 0; r < receivers; r++ {
+		arrival := append([]int(nil), msgs...)
+		rng.Shuffle(len(arrival), func(i, j int) { arrival[i], arrival[j] = arrival[j], arrival[i] })
+
+		// Counting-based: sort the mailbox by attached rank.
+		byRank := append([]int(nil), arrival...)
+		sort.Slice(byRank, func(i, j int) bool {
+			return counter.Count(byRank[i]) < counter.Count(byRank[j])
+		})
+		countingDeliveries[r] = byRank
+
+		// Queuing-based: chain predecessors from the head.
+		succ := make(map[int]int, len(arrival))
+		for _, m := range arrival {
+			succ[predOf(qRes, m)] = m
+		}
+		var chain []int
+		for cur, ok := succ[arrow.Head]; ok; cur, ok = succ[cur] {
+			chain = append(chain, cur)
+		}
+		queuingDeliveries[r] = chain
+	}
+
+	// --- Verify agreement across receivers, per scheme ---------------
+	for r := 1; r < receivers; r++ {
+		if !equal(countingDeliveries[0], countingDeliveries[r]) {
+			log.Fatalf("counting-based delivery disagrees between receivers 0 and %d", r)
+		}
+		if !equal(queuingDeliveries[0], queuingDeliveries[r]) {
+			log.Fatalf("queuing-based delivery disagrees between receivers 0 and %d", r)
+		}
+	}
+	if len(queuingDeliveries[0]) != len(msgs) {
+		log.Fatalf("queuing chain incomplete: %d of %d", len(queuingDeliveries[0]), len(msgs))
+	}
+
+	fmt.Printf("topology %s, %d senders, %d receivers\n", g, len(msgs), receivers)
+	fmt.Println("both schemes delivered identically on every receiver ✓")
+	fmt.Printf("coordination cost, counting flavor (tree counter): total delay %d\n", cRes.TotalDelay)
+	fmt.Printf("coordination cost, queuing flavor (arrow):          total delay %d\n", qRes.TotalDelay)
+	fmt.Printf("queuing-based ordered multicast is %.1f× cheaper to coordinate — the paper's Section 1 claim\n",
+		float64(cRes.TotalDelay)/float64(qRes.TotalDelay))
+}
+
+// predOf reads a message's predecessor out of the arrow result order.
+func predOf(r *arrow.Result, v int) int {
+	for i, u := range r.Order {
+		if u == v {
+			if i == 0 {
+				return arrow.Head
+			}
+			return r.Order[i-1]
+		}
+	}
+	return arrow.None
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

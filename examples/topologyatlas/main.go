@@ -1,0 +1,57 @@
+// Topology atlas: sweep every topology family from the paper and print the
+// queuing-versus-counting comparison for each — a one-screen summary of the
+// paper's results, including the star-graph exception.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func main() {
+	topologies := []*graph.Graph{
+		graph.Complete(128),
+		graph.Path(128),
+		graph.Ring(128),
+		graph.Mesh(12, 12),
+		graph.Mesh(5, 5, 5),
+		graph.Hypercube(7),
+		graph.PerfectMAryTree(2, 7),
+		graph.PerfectMAryTree(3, 5),
+		graph.Star(128),
+		graph.Caterpillar(512, 0.75),
+		graph.CubeConnectedCycles(5),
+		graph.DeBruijn(7),
+	}
+	fmt.Println("graph                       n     C_Q      C_C      C_C/C_Q  verdict")
+	fmt.Println("-----------------------------------------------------------------------")
+	for _, g := range topologies {
+		tbl, err := core.CompareOn(g)
+		if err != nil {
+			log.Fatalf("%s: %v", g.Name(), err)
+		}
+		var cq, cc float64
+		var ratio string
+		for _, row := range tbl.Rows {
+			switch {
+			case len(row) == 2 && hasPrefix(row[0], "C_Q"):
+				fmt.Sscanf(row[1], "%f", &cq)
+			case len(row) == 2 && hasPrefix(row[0], "C_C best"):
+				fmt.Sscanf(row[1], "%f", &cc)
+			case len(row) == 2 && row[0] == "C_C/C_Q":
+				ratio = row[1]
+			}
+		}
+		verdict := "counting harder"
+		if cc < 1.5*cq {
+			verdict = "no separation (contention-bound)"
+		}
+		fmt.Printf("%-27s %-5d %-8.0f %-8.0f %-8s %s\n", g.Name(), g.N(), cq, cc, ratio, verdict)
+	}
+	fmt.Println("\nsee `countq run all` for the full per-theorem tables")
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

@@ -1,0 +1,53 @@
+package arrow_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arrow"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// ExampleRunOneShot runs the arrow protocol on a small list: three nodes
+// issue queuing operations at time zero and each learns its predecessor.
+func ExampleRunOneShot() {
+	g := graph.Path(6)
+	order := []int{0, 1, 2, 3, 4, 5}
+	tr, err := tree.PathTree(order)
+	if err != nil {
+		log.Fatal(err)
+	}
+	requests := make([]bool, 6)
+	requests[1], requests[3], requests[5] = true, true, true
+
+	res, err := arrow.RunOneShot(g, tr, 0, requests, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("queue order:", res.Order)
+	fmt.Println("total delay:", res.TotalDelay)
+	// Output:
+	// queue order: [1 3 5]
+	// total delay: 5
+}
+
+// ExampleNewLongLived schedules requests over time; the protocol still
+// produces one global order.
+func ExampleNewLongLived() {
+	tr, err := tree.PathTree([]int{0, 1, 2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := arrow.NewLongLived(tr, 0, []arrow.Request{
+		{Node: 3, Time: 0},
+		{Node: 1, Time: 20},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = p // run it with sim.New(sim.Config{Graph: g}, p).Run()
+	fmt.Println("ops scheduled:", 2)
+	// Output:
+	// ops scheduled: 2
+}

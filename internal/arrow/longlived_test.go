@@ -1,0 +1,216 @@
+package arrow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+func runLongLived(t *testing.T, g *graph.Graph, tr *tree.Tree, tail int, reqs []Request) *LongLived {
+	t.Helper()
+	p, err := NewLongLived(tr, tail, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.New(sim.Config{Graph: g}, p).Run(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLongLivedSequentialRequests(t *testing.T) {
+	g, tr := pathSetup(t, 8)
+	// Three requests far apart in time: strictly sequential behavior.
+	reqs := []Request{{Node: 7, Time: 0}, {Node: 3, Time: 40}, {Node: 5, Time: 80}}
+	p := runLongLived(t, g, tr, 0, reqs)
+	order, err := p.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{0, 1, 2} {
+		if order[i] != want {
+			t.Errorf("order[%d] = %d, want %d", i, order[i], want)
+		}
+	}
+	// Latency of op 0 = dist(7, tail 0) = 7. Op 1 chases to node 7:
+	// dist(3,7) = 4. Op 2: dist(5,3) = 2.
+	for op, want := range []int{7, 4, 2} {
+		if got := p.Latency(op); got != want {
+			t.Errorf("latency(op%d) = %d, want %d", op, got, want)
+		}
+	}
+	if err := p.VerifyRealTimeOrder(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongLivedSameNodeRepeats(t *testing.T) {
+	g, tr := pathSetup(t, 6)
+	reqs := []Request{
+		{Node: 4, Time: 0},
+		{Node: 4, Time: 0},  // same node, same round: chains locally
+		{Node: 4, Time: 10}, // later op from the same node
+	}
+	p := runLongLived(t, g, tr, 0, reqs)
+	if p.Pred(1) != 0 {
+		t.Errorf("pred(op1) = %d, want 0 (local chaining)", p.Pred(1))
+	}
+	if p.Latency(1) != 0 {
+		t.Errorf("latency(op1) = %d, want 0", p.Latency(1))
+	}
+	if p.Pred(2) != 1 {
+		t.Errorf("pred(op2) = %d, want 1", p.Pred(2))
+	}
+	if err := p.VerifyRealTimeOrder(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongLivedConcurrentBursts(t *testing.T) {
+	g := graph.PerfectMAryTree(2, 5)
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var reqs []Request
+	for burst := 0; burst < 5; burst++ {
+		when := burst * 9
+		for k := 0; k < 6; k++ {
+			reqs = append(reqs, Request{Node: rng.Intn(g.N()), Time: when})
+		}
+	}
+	p := runLongLived(t, g, tr, 0, reqs)
+	if _, err := p.Order(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VerifyRealTimeOrder(); err != nil {
+		t.Error(err)
+	}
+	if p.TotalLatency() < 0 {
+		t.Error("negative total latency")
+	}
+}
+
+func TestLongLivedValidation(t *testing.T) {
+	_, tr := pathSetup(t, 4)
+	if _, err := NewLongLived(tr, 9, nil); err == nil {
+		t.Error("bad tail accepted")
+	}
+	if _, err := NewLongLived(tr, 0, []Request{{Node: 9, Time: 0}}); err == nil {
+		t.Error("bad node accepted")
+	}
+	if _, err := NewLongLived(tr, 0, []Request{{Node: 1, Time: -2}}); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestLongLivedEmptySchedule(t *testing.T) {
+	g, tr := pathSetup(t, 4)
+	p := runLongLived(t, g, tr, 0, nil)
+	order, err := p.Order()
+	if err != nil || len(order) != 0 {
+		t.Errorf("empty schedule: order=%v err=%v", order, err)
+	}
+}
+
+func TestLongLivedMatchesOneShotAtTimeZero(t *testing.T) {
+	// With every request at time 0, long-lived must reproduce the
+	// one-shot execution exactly (same total order, same delays).
+	g, tr := pathSetup(t, 16)
+	nodes := []int{2, 5, 9, 14}
+	var reqs []Request
+	reqVec := make([]bool, 16)
+	for _, v := range nodes {
+		reqs = append(reqs, Request{Node: v, Time: 0})
+		reqVec[v] = true
+	}
+	ll := runLongLived(t, g, tr, 0, reqs)
+	os, err := New(tr, 0, reqVec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.New(sim.Config{Graph: g}, os).Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range nodes {
+		llPred := ll.Pred(i)
+		var llPredNode int
+		if llPred == Head {
+			llPredNode = Head
+		} else {
+			llPredNode = reqs[llPred].Node
+		}
+		if osPred := os.Pred(v); osPred != llPredNode {
+			t.Errorf("node %d: one-shot pred %d, long-lived pred node %d", v, osPred, llPredNode)
+		}
+		if ll.CompletedAt(i) != os.Delay(v) {
+			t.Errorf("node %d: delays differ: %d vs %d", v, ll.CompletedAt(i), os.Delay(v))
+		}
+	}
+}
+
+func TestLongLivedPropertyValidOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		parent := make([]int, n)
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		tr := tree.MustFromParents(0, parent)
+		b := graph.NewBuilder("rt", n)
+		for v := 1; v < n; v++ {
+			b.MustAddEdge(v, parent[v])
+		}
+		g := b.Build()
+		var reqs []Request
+		for k := 0; k < rng.Intn(25); k++ {
+			reqs = append(reqs, Request{Node: rng.Intn(n), Time: rng.Intn(30)})
+		}
+		p, err := NewLongLived(tr, rng.Intn(n), reqs)
+		if err != nil {
+			return false
+		}
+		if _, err := sim.New(sim.Config{Graph: g}, p).Run(); err != nil {
+			return false
+		}
+		return p.VerifyRealTimeOrder() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongLivedUnderJitter(t *testing.T) {
+	// Asynchronous links (bounded jitter) must not break the total order
+	// or real-time consistency.
+	g := graph.Mesh(5, 5)
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	var reqs []Request
+	for k := 0; k < 30; k++ {
+		reqs = append(reqs, Request{Node: rng.Intn(25), Time: rng.Intn(40)})
+	}
+	p, err := NewLongLived(tr, 12, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Graph: g, Delay: sim.JitterDelay{Seed: 3, Max: 5}}
+	if _, err := sim.New(cfg, p).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Order(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VerifyRealTimeOrder(); err != nil {
+		t.Error(err)
+	}
+}

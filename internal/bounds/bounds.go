@@ -1,0 +1,175 @@
+// Package bounds evaluates the theoretical bounds of Busch & Tirthapura as
+// executable arithmetic: the tower function and log*, the influence-set
+// recurrences a(t), b(t) of Lemmas 3.2–3.4 (computed exactly with big.Int),
+// the counting lower bounds of Theorems 3.5 and 3.6, and the queuing upper
+// bounds of Section 4. Experiments compare measured protocol costs against
+// these numbers.
+package bounds
+
+import (
+	"math"
+	"math/big"
+)
+
+// Tow returns tow(j) = 2^2^…^2 (j twos) as a big.Int. Tow(0) = 1.
+// For j ≥ 6 the value does not fit in memory; Tow panics for j > 5.
+func Tow(j int) *big.Int {
+	if j < 0 {
+		panic("bounds: tow of negative")
+	}
+	if j > 5 {
+		panic("bounds: tow(j) for j > 5 is astronomically large")
+	}
+	v := big.NewInt(1)
+	for i := 0; i < j; i++ {
+		if !v.IsInt64() || v.Int64() > 1<<20 {
+			panic("bounds: tower exponent too large")
+		}
+		v = new(big.Int).Lsh(big.NewInt(1), uint(v.Int64()))
+	}
+	return v
+}
+
+// LogStar returns log*(k): the minimum number of times log₂ must be
+// iterated, starting from k, to reach a value ≤ 1. LogStar(k ≤ 1) = 0,
+// LogStar(2) = 1, LogStar(4) = 2, LogStar(16) = 3, LogStar(65536) = 4.
+func LogStar(k float64) int {
+	n := 0
+	for k > 1 {
+		k = math.Log2(k)
+		n++
+	}
+	return n
+}
+
+// LogStarInt is LogStar on an integer argument.
+func LogStarInt(k int) int { return LogStar(float64(k)) }
+
+// Recurrence holds the exact influence-set growth values of Lemmas 3.2 and
+// 3.3: a(t) bounds how many processors can affect any single processor's
+// state after t rounds, b(t) how many processors any single processor can
+// have affected. Both start at 1 (Fact 1).
+type Recurrence struct {
+	A, B []*big.Int // A[t] = a(t), B[t] = b(t)
+}
+
+// NewRecurrence iterates the recurrences
+//
+//	a(t+1) = a(t) + a(t)²·b(t)
+//	b(t+1) = b(t)·(1 + 2·a(t))
+//
+// for the given number of rounds, exactly.
+func NewRecurrence(rounds int) *Recurrence {
+	r := &Recurrence{
+		A: make([]*big.Int, rounds+1),
+		B: make([]*big.Int, rounds+1),
+	}
+	r.A[0] = big.NewInt(1)
+	r.B[0] = big.NewInt(1)
+	one := big.NewInt(1)
+	two := big.NewInt(2)
+	for t := 0; t < rounds; t++ {
+		a, b := r.A[t], r.B[t]
+		// a(t+1) = a + a²b
+		a2b := new(big.Int).Mul(a, a)
+		a2b.Mul(a2b, b)
+		r.A[t+1] = new(big.Int).Add(a, a2b)
+		// b(t+1) = b(1 + 2a)
+		f := new(big.Int).Mul(two, a)
+		f.Add(f, one)
+		r.B[t+1] = new(big.Int).Mul(b, f)
+	}
+	return r
+}
+
+// MinRoundsForCount returns the smallest t with a(t) ≥ k: by Lemma 3.1, any
+// processor that outputs a count of k must have delay at least that t. This
+// is the exact (tightest) form of the paper's lower bound; the closed form
+// log*(k)/2 of Theorem 3.5 follows from a(t) ≤ tow(2t).
+func MinRoundsForCount(k int64) int {
+	target := big.NewInt(k)
+	a := big.NewInt(1)
+	b := big.NewInt(1)
+	one := big.NewInt(1)
+	two := big.NewInt(2)
+	t := 0
+	for a.Cmp(target) < 0 {
+		a2b := new(big.Int).Mul(a, a)
+		a2b.Mul(a2b, b)
+		na := new(big.Int).Add(a, a2b)
+		f := new(big.Int).Mul(two, a)
+		f.Add(f, one)
+		nb := new(big.Int).Mul(b, f)
+		a, b = na, nb
+		t++
+		if t > 64 {
+			break // unreachable for any int64 k; safety net
+		}
+	}
+	return t
+}
+
+// CountingLowerBoundTheorem35 returns the additive lower bound of
+// Theorem 3.5 on the total counting delay when all n processors count:
+// every processor that outputs count k needs at least log*(k)/2 rounds, so
+// summing over the processors with counts above n/2 gives Ω(n·log* n).
+// The value returned is ⌊(Σ_{k=⌈n/2⌉}^{n} log*(k))/2⌋ — a concrete number,
+// not an asymptotic class, so measurements can be compared to it. (The
+// division by two is applied once to the sum, which is tighter than
+// flooring each term.)
+func CountingLowerBoundTheorem35(n int) int {
+	total := 0
+	for k := (n + 1) / 2; k <= n; k++ {
+		total += LogStarInt(k)
+	}
+	return total / 2
+}
+
+// CountingLowerBoundExact returns the stronger lower bound obtained by using
+// the exact recurrence instead of the tower closed form: the total counting
+// delay is at least Σ_{k=1}^{n} MinRoundsForCount(k).
+func CountingLowerBoundExact(n int) int {
+	total := 0
+	// MinRoundsForCount is a step function of k; advance k in blocks.
+	for k := 1; k <= n; k++ {
+		total += MinRoundsForCount(int64(k))
+	}
+	return total
+}
+
+// DiameterLowerBound returns the Theorem 3.6 lower bound on the total
+// counting delay for a graph of diameter alpha when all nodes count:
+// Σ_{j=1}^{⌊alpha/2⌋} j = ⌊alpha/2⌋·(⌊alpha/2⌋+1)/2 = Ω(alpha²).
+func DiameterLowerBound(alpha int) int {
+	h := alpha / 2
+	return h * (h + 1) / 2
+}
+
+// QueuingUpperBoundList returns the Lemma 4.3 bound on the nearest-neighbour
+// TSP cost on a list of n vertices: 3n. Doubling it (Theorem 4.1) bounds the
+// arrow protocol's total queuing delay on a Hamilton-path spanning tree.
+func QueuingUpperBoundList(n int) int { return 3 * n }
+
+// QueuingUpperBoundPerfectBinary returns the explicit constant version of
+// the Theorem 4.7 bound on the nearest-neighbour TSP cost on a perfect
+// binary tree of n vertices and height d: 2d(d+1) + 8n.
+func QueuingUpperBoundPerfectBinary(n, d int) int { return 2*d*(d+1) + 8*n }
+
+// QueuingUpperBoundGeneral returns the Corollary 4.2 style bound for a
+// constant-degree spanning tree on n vertices: the Rosenkrantz–Stearns–Lewis
+// nearest-neighbour approximation gives O(n log n); the explicit form used
+// here is n·(⌈log₂ n⌉ + 1).
+func QueuingUpperBoundGeneral(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n * (ceilLog2(n) + 1)
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for p := 1; p < n; p <<= 1 {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,202 @@
+package bounds
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestTow(t *testing.T) {
+	want := []int64{1, 2, 4, 16, 65536}
+	for j, w := range want {
+		if got := Tow(j); got.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("Tow(%d) = %v, want %d", j, got, w)
+		}
+	}
+	// tow(5) = 2^65536: check bit length rather than value.
+	if got := Tow(5); got.BitLen() != 65537 {
+		t.Errorf("Tow(5) bit length = %d, want 65537", Tow(5).BitLen())
+	}
+}
+
+func TestTowPanics(t *testing.T) {
+	for _, j := range []int{-1, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Tow(%d) did not panic", j)
+				}
+			}()
+			Tow(j)
+		}()
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	cases := map[int]int{
+		0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 16: 3, 17: 4,
+		65536: 4, 65537: 5, 1 << 30: 5,
+	}
+	for k, want := range cases {
+		if got := LogStarInt(k); got != want {
+			t.Errorf("LogStar(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestLogStarMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int(a%1000000), int(b%1000000)
+		if x > y {
+			x, y = y, x
+		}
+		return LogStarInt(x) <= LogStarInt(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecurrenceBase(t *testing.T) {
+	r := NewRecurrence(4)
+	if r.A[0].Int64() != 1 || r.B[0].Int64() != 1 {
+		t.Fatalf("base case a(0)=%v b(0)=%v", r.A[0], r.B[0])
+	}
+	// a(1) = 1 + 1·1 = 2; b(1) = 1·(1+2) = 3.
+	if r.A[1].Int64() != 2 || r.B[1].Int64() != 3 {
+		t.Errorf("a(1)=%v b(1)=%v, want 2, 3", r.A[1], r.B[1])
+	}
+	// a(2) = 2 + 4·3 = 14; b(2) = 3·5 = 15.
+	if r.A[2].Int64() != 14 || r.B[2].Int64() != 15 {
+		t.Errorf("a(2)=%v b(2)=%v, want 14, 15", r.A[2], r.B[2])
+	}
+}
+
+func TestRecurrenceBelowTower(t *testing.T) {
+	// Lemma 3.4: a(t), b(t) ≤ tow(2t) for t ≥ 1 (and t=2 is the largest
+	// tower we can compute exactly: tow(4) = 65536; at t=3, tow(6) is too
+	// big to materialize but a(3) is tiny, so check against tow(5) too).
+	r := NewRecurrence(3)
+	for t1 := 0; t1 <= 2; t1++ {
+		tw := Tow(2 * t1)
+		if r.A[t1].Cmp(tw) > 0 {
+			t.Errorf("a(%d) = %v exceeds tow(%d) = %v", t1, r.A[t1], 2*t1, tw)
+		}
+		if r.B[t1].Cmp(tw) > 0 {
+			t.Errorf("b(%d) = %v exceeds tow(%d) = %v", t1, r.B[t1], 2*t1, tw)
+		}
+	}
+	if r.A[3].Cmp(Tow(5)) > 0 {
+		t.Errorf("a(3) = %v exceeds tow(5)", r.A[3])
+	}
+}
+
+func TestMinRoundsForCount(t *testing.T) {
+	cases := map[int64]int{
+		1:   0,
+		2:   1, // a(1) = 2
+		3:   2, // a(2) = 14 ≥ 3
+		14:  2,
+		15:  3,
+		100: 3, // a(3) = 14 + 196·15 = 2954
+	}
+	for k, want := range cases {
+		if got := MinRoundsForCount(k); got != want {
+			t.Errorf("MinRoundsForCount(%d) = %d, want %d", k, got, want)
+		}
+	}
+	// Monotone in k.
+	prev := 0
+	for k := int64(1); k < 100000; k *= 3 {
+		r := MinRoundsForCount(k)
+		if r < prev {
+			t.Errorf("MinRoundsForCount not monotone at %d", k)
+		}
+		prev = r
+	}
+}
+
+func TestCountingLowerBoundTheorem35(t *testing.T) {
+	// For n = 16: counts 8..16 all have log*(k) = 3, so the bound is
+	// ⌊9·3/2⌋ = 13.
+	if got := CountingLowerBoundTheorem35(16); got != 13 {
+		t.Errorf("LB(16) = %d, want 13", got)
+	}
+	// Growth: LB is Ω(n): at least n/2 · 1 for n ≥ 4.
+	for _, n := range []int{8, 64, 1024, 65536} {
+		if got := CountingLowerBoundTheorem35(n); got < n/2 {
+			t.Errorf("LB(%d) = %d below n/2", n, got)
+		}
+	}
+	// Super-linear coefficient kicks in past tow(4): for n beyond 65536
+	// the per-op bound is ⌊5/2⌋ = 2.
+	lbSmall := CountingLowerBoundTheorem35(65536)
+	lbBig := CountingLowerBoundTheorem35(131072)
+	if lbBig-lbSmall < 60000 {
+		t.Errorf("LB increment %d too small; log* step not applied", lbBig-lbSmall)
+	}
+}
+
+func TestCountingLowerBoundExact(t *testing.T) {
+	// Exact bound dominates: it sums over all k and uses the un-weakened
+	// recurrence.
+	for _, n := range []int{4, 16, 256, 4096} {
+		exact := CountingLowerBoundExact(n)
+		thm := CountingLowerBoundTheorem35(n)
+		if exact < thm {
+			t.Errorf("exact LB %d < theorem LB %d at n=%d", exact, thm, n)
+		}
+	}
+	// Spot value: n=2 → MinRounds(1)+MinRounds(2) = 0+1.
+	if got := CountingLowerBoundExact(2); got != 1 {
+		t.Errorf("exact LB(2) = %d, want 1", got)
+	}
+}
+
+func TestDiameterLowerBound(t *testing.T) {
+	if got := DiameterLowerBound(10); got != 15 { // 1+2+3+4+5
+		t.Errorf("DiameterLB(10) = %d, want 15", got)
+	}
+	if got := DiameterLowerBound(0); got != 0 {
+		t.Errorf("DiameterLB(0) = %d, want 0", got)
+	}
+	// Quadratic shape: doubling alpha roughly quadruples the bound.
+	r := float64(DiameterLowerBound(2000)) / float64(DiameterLowerBound(1000))
+	if r < 3.5 || r > 4.5 {
+		t.Errorf("diameter LB growth ratio = %v, want ≈4", r)
+	}
+}
+
+func TestQueuingUpperBounds(t *testing.T) {
+	if QueuingUpperBoundList(100) != 300 {
+		t.Error("list bound wrong")
+	}
+	if QueuingUpperBoundPerfectBinary(15, 3) != 2*3*4+8*15 {
+		t.Error("perfect binary bound wrong")
+	}
+	if QueuingUpperBoundGeneral(8) != 8*4 {
+		t.Errorf("general bound = %d, want 32", QueuingUpperBoundGeneral(8))
+	}
+	if QueuingUpperBoundGeneral(0) != 0 {
+		t.Error("general bound at 0 wrong")
+	}
+}
+
+func TestAsymptoticSeparation(t *testing.T) {
+	// The paper's headline: on Hamilton-path graphs the queuing upper
+	// bound 2·3n is o(counting lower bound Ω(n log* n)). log* grows so
+	// slowly that the ratio steps up only when n crosses a tower value;
+	// within a plateau it is flat (up to a vanishing +1 term). Check the
+	// shape: the per-operation bound log*(n)/2 never decreases, and the
+	// total-ratio strictly grows across a tower boundary.
+	ratio := func(n int) float64 {
+		return float64(CountingLowerBoundTheorem35(n)) / float64(2*QueuingUpperBoundList(n))
+	}
+	if r16, rBig := ratio(16), ratio(1<<20); rBig <= r16 {
+		t.Errorf("LB/UB ratio did not grow: %v at n=16, %v at n=2^20", r16, rBig)
+	}
+	// Crossing tow(4) = 65536 doubles the per-op bound from ⌊4/2⌋ to ⌊5/2⌋.
+	if rA, rB := ratio(65536), ratio(1<<18); rB <= rA {
+		t.Errorf("ratio flat across tower boundary: %v then %v", rA, rB)
+	}
+}

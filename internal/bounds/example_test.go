@@ -1,0 +1,36 @@
+package bounds_test
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+)
+
+// ExampleLogStar shows the iterated logarithm the Theorem 3.5 bound is
+// built from.
+func ExampleLogStar() {
+	for _, k := range []int{2, 16, 65536} {
+		fmt.Println(bounds.LogStarInt(k))
+	}
+	// Output:
+	// 1
+	// 3
+	// 4
+}
+
+// ExampleMinRoundsForCount evaluates Lemma 3.1 with the exact influence
+// recurrence: a processor announcing count k needs at least this many
+// rounds.
+func ExampleMinRoundsForCount() {
+	fmt.Println(bounds.MinRoundsForCount(1000000))
+	// Output:
+	// 4
+}
+
+// ExampleDiameterLowerBound is the Theorem 3.6 bound for a list of 101
+// vertices (diameter 100).
+func ExampleDiameterLowerBound() {
+	fmt.Println(bounds.DiameterLowerBound(100))
+	// Output:
+	// 1275
+}

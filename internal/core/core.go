@@ -1,0 +1,255 @@
+// Package core is the experiment harness that reproduces every theorem,
+// figure and discussion point of Busch & Tirthapura, "Concurrent counting
+// is harder than queuing", as a measurable experiment. Each experiment
+// (E1–E12, see DESIGN.md) couples workload generation, protocol execution
+// on the synchronous simulator, and the paper's symbolic bounds into one
+// table of paper-versus-measured rows.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/arrow"
+	"repro/internal/counting"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Quick shrinks problem sizes so the whole suite runs in seconds
+	// (used by tests); the full sizes are used by the CLI and benches.
+	Quick bool
+	// Seed drives all randomized workloads; runs are reproducible.
+	Seed int64
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Ref     string // paper reference (theorem / figure)
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-form note shown under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", t.ID, t.Title, t.Ref)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for p := len([]rune(cell)); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Spec describes one experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Ref   string
+	Run   func(cfg Config) (*Table, error)
+}
+
+// Experiments returns all experiment specs in order.
+func Experiments() []*Spec {
+	return []*Spec{
+		{"E1", "Counting lower bound Ω(n log* n) on the complete graph", "Theorem 3.5", RunE1},
+		{"E2", "Counting lower bound Ω(diameter²) on list and mesh", "Theorem 3.6", RunE2},
+		{"E3", "Arrow total delay ≤ 2 × nearest-neighbour TSP", "Theorem 4.1", RunE3},
+		{"E4", "Nearest-neighbour TSP on the list costs ≤ 3n", "Lemma 4.3 / Fig. 2", RunE4},
+		{"E5", "Nearest-neighbour TSP on perfect trees costs O(n)", "Theorem 4.7 / Lemma 4.9 / Fig. 3", RunE5},
+		{"E6", "Queuing beats counting on Hamilton-path graphs", "Theorem 4.5, Lemma 4.6", RunE6},
+		{"E7", "Queuing beats counting on perfect m-ary trees", "Theorem 4.12", RunE7},
+		{"E8", "Queuing beats counting on high-diameter graphs", "Theorem 4.13", RunE8},
+		{"E9", "On the star both problems cost Θ(n²)", "Conclusions", RunE9},
+		{"E10", "Counting and queuing semantics on the Fig. 1 example", "Figure 1", RunE10},
+		{"E11", "Shared-memory analog: goroutine counters vs queues", "paper thesis on a real substrate", RunE11},
+		{"E12", "Ablations: spanning tree, capacity, network width", "design choices", RunE12},
+		{"E13", "Long-lived queuing vs counting under arrival schedules", "extension: reference [8] setting", RunE13},
+		{"E14", "Separation under asynchronous (jittered) links", "extension: Section 2.1 remark", RunE14},
+		{"E15", "Adversarial request sets via hill climbing", "extension: the max over R in Eq. (1)/(3)", RunE15},
+		{"E16", "Distributed addition vs counting vs queuing", "extension: conclusions' open question", RunE16},
+	}
+}
+
+// Lookup returns the spec with the given ID (case-insensitive), or nil.
+func Lookup(id string) *Spec {
+	for _, s := range Experiments() {
+		if strings.EqualFold(s.ID, id) {
+			return s
+		}
+	}
+	return nil
+}
+
+// --- shared workload helpers ---
+
+// allRequests marks every node as a requester (the paper's worst case for
+// the lower bounds).
+func allRequests(n int) []bool {
+	r := make([]bool, n)
+	for i := range r {
+		r[i] = true
+	}
+	return r
+}
+
+// randomRequests marks each node independently with the given density.
+func randomRequests(n int, density float64, rng *rand.Rand) []bool {
+	r := make([]bool, n)
+	for i := range r {
+		r[i] = rng.Float64() < density
+	}
+	return r
+}
+
+func requestList(req []bool) []int {
+	var out []int
+	for v, b := range req {
+		if b {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// heapTree returns the balanced binary "heap" tree on n vertices
+// (parent(v) = ⌊(v-1)/2⌋) — a constant-degree, logarithmic-depth spanning
+// tree of the complete graph.
+func heapTree(n int) *tree.Tree {
+	parent := make([]int, n)
+	for v := 1; v < n; v++ {
+		parent[v] = (v - 1) / 2
+	}
+	return tree.MustFromParents(0, parent)
+}
+
+// identityPathTree returns the path tree 0→1→…→n-1.
+func identityPathTree(n int) *tree.Tree {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	t, err := tree.PathTree(order)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// hamiltonPathTree builds the spanning tree used by Theorem 4.5: the
+// graph's Hamilton path, rooted at its first vertex.
+func hamiltonPathTree(g *graph.Graph) (*tree.Tree, error) {
+	order, err := graph.HamiltonPath(g)
+	if err != nil {
+		return nil, err
+	}
+	return tree.PathTree(order)
+}
+
+// countingPortfolio runs the counting protocols on (g, tr) and returns the
+// name and total delay of the cheapest, plus all totals keyed by name.
+// Counting-network widths adapt to n. All runs use capacity 1 (the model's
+// base budget).
+func countingPortfolio(g *graph.Graph, tr *tree.Tree, req []bool) (string, int, map[string]int, error) {
+	totals := make(map[string]int)
+	central, err := counting.NewCentral(tr, req)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	if res, err := counting.Run(g, central, 1); err == nil {
+		totals["central"] = res.TotalDelay
+	} else {
+		return "", 0, nil, fmt.Errorf("central: %w", err)
+	}
+	tc, err := counting.NewTreeCount(tr, req)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	if res, err := counting.Run(g, tc, 1); err == nil {
+		totals["treecount"] = res.TotalDelay
+	} else {
+		return "", 0, nil, fmt.Errorf("treecount: %w", err)
+	}
+	width := 8
+	if g.N() < 16 {
+		width = 2
+	}
+	cn, err := counting.NewCountNet(tr, req, width, nil)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	cn.WithShortcuts() // free on sparse graphs, decisive on dense ones
+	if res, err := counting.Run(g, cn, 1); err == nil {
+		totals[fmt.Sprintf("countnet%d", width)] = res.TotalDelay
+	} else {
+		return "", 0, nil, fmt.Errorf("countnet: %w", err)
+	}
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	best, bestTotal := "", -1
+	for _, name := range names {
+		if bestTotal < 0 || totals[name] < bestTotal {
+			best, bestTotal = name, totals[name]
+		}
+	}
+	return best, bestTotal, totals, nil
+}
+
+// runArrow executes the arrow protocol and returns its total delay.
+func runArrow(g *graph.Graph, tr *tree.Tree, tail int, req []bool, capacity int) (int, error) {
+	res, err := arrow.RunOneShot(g, tr, tail, req, capacity)
+	if err != nil {
+		return 0, err
+	}
+	return res.TotalDelay, nil
+}

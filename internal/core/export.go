@@ -1,0 +1,78 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// CSV renders the table as RFC-4180 CSV (columns, then rows; notes become
+// trailing comment-style rows prefixed with "#note").
+func (t *Table) CSV() (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write(t.Columns); err != nil {
+		return "", err
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return "", err
+		}
+	}
+	for _, n := range t.Notes {
+		if err := w.Write([]string{"#note", n}); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	return b.String(), w.Error()
+}
+
+// JSON renders the table as a single JSON object.
+func (t *Table) JSON() (string, error) {
+	out, err := json.MarshalIndent(struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Ref     string     `json:"ref"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Ref, t.Columns, t.Rows, t.Notes}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// Markdown renders the table as a GitHub-style markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s (%s)\n\n", t.ID, t.Title, t.Ref)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+// Format renders the table in the named format: "text" (default), "csv",
+// "json" or "markdown".
+func (t *Table) Format(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return t.Render(), nil
+	case "csv":
+		return t.CSV()
+	case "json":
+		return t.JSON()
+	case "markdown", "md":
+		return t.Markdown(), nil
+	default:
+		return "", fmt.Errorf("core: unknown format %q", format)
+	}
+}

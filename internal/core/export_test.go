@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{ID: "X", Title: "sample", Ref: "ref", Columns: []string{"a", "b"}}
+	t.AddRow("1", "two, with comma")
+	t.AddRow("3", "four")
+	t.AddNote("a note")
+	return t
+}
+
+func TestCSVRoundTrips(t *testing.T) {
+	out, err := sampleTable().CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 { // header + 2 rows + note
+		t.Fatalf("records = %d, want 4", len(records))
+	}
+	if records[1][1] != "two, with comma" {
+		t.Errorf("comma cell mangled: %q", records[1][1])
+	}
+	if records[3][0] != "#note" {
+		t.Errorf("note row = %v", records[3])
+	}
+}
+
+func TestJSONWellFormed(t *testing.T) {
+	out, err := sampleTable().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "X" || len(decoded.Rows) != 2 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sampleTable().Markdown()
+	for _, want := range []string{"### X — sample (ref)", "| a | b |", "| --- | --- |", "> a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatDispatch(t *testing.T) {
+	tbl := sampleTable()
+	for _, f := range []string{"", "text", "csv", "json", "markdown", "md"} {
+		if _, err := tbl.Format(f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+	}
+	if _, err := tbl.Format("yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestTraceDemoRenders(t *testing.T) {
+	out, err := TraceDemo(15, 4, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"arrow one-shot", "raymond token algorithm", "queue order", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace demo missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package counting
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+func TestAdderSingleOp(t *testing.T) {
+	g := graph.Path(4)
+	tr := identityPathTree(t, 4)
+	a, err := NewAdder(tr, []AddRequest{{Node: 3, Time: 0, Amount: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.New(sim.Config{Graph: g}, a).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.ValueOf(0) != 7 {
+		t.Errorf("value = %d, want 7", a.ValueOf(0))
+	}
+	if err := a.ValidateSums(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdderSequentialPrefixSums(t *testing.T) {
+	g := graph.Path(3)
+	tr := identityPathTree(t, 3)
+	reqs := []AddRequest{
+		{Node: 0, Time: 0, Amount: 5},
+		{Node: 0, Time: 10, Amount: 3},
+		{Node: 0, Time: 20, Amount: 2},
+	}
+	a, err := NewAdder(tr, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.New(sim.Config{Graph: g}, a).Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 8, 10}
+	for op, w := range want {
+		if a.ValueOf(op) != w {
+			t.Errorf("value(op%d) = %d, want %d", op, a.ValueOf(op), w)
+		}
+	}
+	if err := a.ValidateSums(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdderRejectsBadAmount(t *testing.T) {
+	tr := identityPathTree(t, 3)
+	if _, err := NewAdder(tr, []AddRequest{{Node: 0, Time: 0, Amount: 0}}); err == nil {
+		t.Error("zero amount accepted")
+	}
+	if _, err := NewAdder(tr, []AddRequest{{Node: 0, Time: 0, Amount: -4}}); err == nil {
+		t.Error("negative amount accepted")
+	}
+}
+
+func TestAdderUnitAmountsMatchCounting(t *testing.T) {
+	// With all amounts 1, the adder is a counter: Validate must pass.
+	g := graph.PerfectMAryTree(2, 4)
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []AddRequest
+	for v := 0; v < g.N(); v++ {
+		reqs = append(reqs, AddRequest{Node: v, Time: 0, Amount: 1})
+	}
+	a, err := NewAdder(tr, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.New(sim.Config{Graph: g}, a).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := a.ValidateSums(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdderPropertyPrefixSums(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		parent := make([]int, n)
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		tr := tree.MustFromParents(0, parent)
+		b := graph.NewBuilder("rt", n)
+		for v := 1; v < n; v++ {
+			b.MustAddEdge(v, parent[v])
+		}
+		g := b.Build()
+		var reqs []AddRequest
+		for k := 0; k < rng.Intn(30); k++ {
+			reqs = append(reqs, AddRequest{Node: rng.Intn(n), Time: rng.Intn(20), Amount: 1 + rng.Intn(9)})
+		}
+		a, err := NewAdder(tr, reqs)
+		if err != nil {
+			return false
+		}
+		if _, err := sim.New(sim.Config{Graph: g}, a).Run(); err != nil {
+			return false
+		}
+		return a.ValidateSums() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateSumsRejectsCorruption(t *testing.T) {
+	g := graph.Path(3)
+	tr := identityPathTree(t, 3)
+	a, err := NewAdder(tr, []AddRequest{{Node: 1, Time: 0, Amount: 2}, {Node: 2, Time: 0, Amount: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.New(sim.Config{Graph: g}, a).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ValidateSums(); err != nil {
+		t.Fatal(err)
+	}
+	a.value[0]++ // corrupt
+	if err := a.ValidateSums(); err == nil {
+		t.Error("corrupted sums accepted")
+	}
+}

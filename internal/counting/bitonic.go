@@ -1,0 +1,201 @@
+package counting
+
+import "fmt"
+
+// Balancer is one 2×2 balancer of a counting network: tokens arriving on
+// either input wire leave alternately on Top then Bottom.
+type Balancer struct {
+	Top, Bottom int // physical wire indices
+}
+
+// BalancerNetwork is a layered balancer network of some width. Every layer
+// is a perfect matching on the wires: each wire meets exactly one balancer
+// per layer. Outputs are logically reordered: logical output i (the wire
+// that receives tokens i, i+w, i+2w, … in a quiescent state) lives on
+// physical wire OutPerm[i].
+type BalancerNetwork struct {
+	Width   int
+	Layers  [][]Balancer
+	OutPerm []int // logical output index → physical wire
+}
+
+// Bitonic constructs the bitonic counting network of Aspnes, Herlihy and
+// Shavit: Bitonic[w] is two Bitonic[w/2] side by side followed by
+// Merger[w]; Merger[2k] splits into two parallel Merger[k] on interleaved
+// inputs plus a final layer of balancers. Width must be a power of two;
+// width 1 yields the empty network (all tokens share one wire).
+func Bitonic(width int) (*BalancerNetwork, error) {
+	if width < 1 || width&(width-1) != 0 {
+		return nil, fmt.Errorf("counting: bitonic width %d is not a power of two", width)
+	}
+	wires := make([]int, width)
+	for i := range wires {
+		wires[i] = i
+	}
+	layers, out := bitonicRec(wires)
+	return &BalancerNetwork{Width: width, Layers: layers, OutPerm: out}, nil
+}
+
+// Depth reports the number of layers: Θ(log² w).
+func (bn *BalancerNetwork) Depth() int { return len(bn.Layers) }
+
+// BalancerCount reports the total number of balancers.
+func (bn *BalancerNetwork) BalancerCount() int {
+	total := 0
+	for _, l := range bn.Layers {
+		total += len(l)
+	}
+	return total
+}
+
+// LogicalOutput returns the logical output index of a physical wire after
+// the final layer.
+func (bn *BalancerNetwork) LogicalOutput(wire int) int {
+	for li, w := range bn.OutPerm {
+		if w == wire {
+			return li
+		}
+	}
+	panic(fmt.Sprintf("counting: wire %d not in output permutation", wire))
+}
+
+// bitonicRec builds Bitonic over the given physical wires. It returns the
+// layers and the permutation mapping logical outputs to physical wires.
+func bitonicRec(wires []int) ([][]Balancer, []int) {
+	if len(wires) <= 1 {
+		return nil, append([]int(nil), wires...)
+	}
+	k := len(wires) / 2
+	topLayers, topOut := bitonicRec(wires[:k])
+	botLayers, botOut := bitonicRec(wires[k:])
+	layers := zipLayers(topLayers, botLayers)
+	mergeIn := append(append([]int(nil), topOut...), botOut...)
+	mergeLayers, out := mergerRec(mergeIn)
+	return append(layers, mergeLayers...), out
+}
+
+// mergerRec builds Merger over the physical wires carrying logical inputs
+// x0…x_{k-1}, y0…y_{k-1}.
+func mergerRec(wires []int) ([][]Balancer, []int) {
+	if len(wires) == 2 {
+		return [][]Balancer{{{Top: wires[0], Bottom: wires[1]}}}, append([]int(nil), wires...)
+	}
+	k := len(wires) / 2
+	xs, ys := wires[:k], wires[k:]
+	// M1 merges x evens with y odds; M2 merges x odds with y evens.
+	in1 := make([]int, 0, k)
+	in2 := make([]int, 0, k)
+	for i := 0; i < k; i += 2 {
+		in1 = append(in1, xs[i])
+	}
+	for i := 1; i < k; i += 2 {
+		in1 = append(in1, ys[i])
+	}
+	for i := 1; i < k; i += 2 {
+		in2 = append(in2, xs[i])
+	}
+	for i := 0; i < k; i += 2 {
+		in2 = append(in2, ys[i])
+	}
+	l1, out1 := mergerRec(in1)
+	l2, out2 := mergerRec(in2)
+	layers := zipLayers(l1, l2)
+	// Final layer pairs the two mergers' logical outputs elementwise; the
+	// overall logical order interleaves them.
+	final := make([]Balancer, k)
+	out := make([]int, 0, 2*k)
+	for i := 0; i < k; i++ {
+		final[i] = Balancer{Top: out1[i], Bottom: out2[i]}
+		out = append(out, out1[i], out2[i])
+	}
+	return append(layers, final), out
+}
+
+// zipLayers merges two disjoint parallel sub-networks layer by layer. The
+// sub-networks built by the recursion always have equal depth; zipLayers
+// also tolerates unequal depths by letting the shorter side pass through.
+func zipLayers(a, b [][]Balancer) [][]Balancer {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([][]Balancer, n)
+	for i := 0; i < n; i++ {
+		var layer []Balancer
+		if i < len(a) {
+			layer = append(layer, a[i]...)
+		}
+		if i < len(b) {
+			layer = append(layer, b[i]...)
+		}
+		out[i] = layer
+	}
+	return out
+}
+
+// Quiescent runs tokens through the network sequentially (one token fully
+// traverses before the next enters) starting from the given per-input-wire
+// token counts, and returns the number of tokens leaving each logical
+// output. Counting networks guarantee the step property on these outputs in
+// any quiescent state; tests verify it.
+func (bn *BalancerNetwork) Quiescent(tokensPerInput []int) ([]int, error) {
+	if len(tokensPerInput) != bn.Width {
+		return nil, fmt.Errorf("counting: %d input counts for width %d", len(tokensPerInput), bn.Width)
+	}
+	toggle := make([]map[int]*bool, len(bn.Layers))
+	wireBalancer := make([]map[int]*Balancer, len(bn.Layers))
+	toggles := make([]bool, bn.BalancerCount())
+	ti := 0
+	for li, layer := range bn.Layers {
+		toggle[li] = make(map[int]*bool, 2*len(layer))
+		wireBalancer[li] = make(map[int]*Balancer, 2*len(layer))
+		for bi := range layer {
+			b := &bn.Layers[li][bi]
+			tg := &toggles[ti]
+			ti++
+			wireBalancer[li][b.Top] = b
+			wireBalancer[li][b.Bottom] = b
+			toggle[li][b.Top] = tg
+			toggle[li][b.Bottom] = tg
+		}
+	}
+	outPhysical := make(map[int]int, bn.Width)
+	for in, k := range tokensPerInput {
+		for t := 0; t < k; t++ {
+			wire := in
+			for li := range bn.Layers {
+				b := wireBalancer[li][wire]
+				if b == nil {
+					continue // wire passes through this layer
+				}
+				tg := toggle[li][wire]
+				if !*tg {
+					wire = b.Top
+				} else {
+					wire = b.Bottom
+				}
+				*tg = !*tg
+			}
+			outPhysical[wire]++
+		}
+	}
+	out := make([]int, bn.Width)
+	for li, w := range bn.OutPerm {
+		out[li] = outPhysical[w]
+	}
+	return out, nil
+}
+
+// CheckStepProperty verifies 0 ≤ y_i − y_j ≤ 1 for all i < j on a logical
+// output vector — the defining property of counting networks.
+func CheckStepProperty(y []int) error {
+	for i := 0; i < len(y); i++ {
+		for j := i + 1; j < len(y); j++ {
+			d := y[i] - y[j]
+			if d < 0 || d > 1 {
+				return fmt.Errorf("counting: step property violated: y[%d]=%d y[%d]=%d", i, y[i], j, y[j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package counting
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitonicShape(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		bn, err := Bitonic(w)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if bn.Width != w {
+			t.Errorf("width = %d", bn.Width)
+		}
+		// Depth of Bitonic[w] is log w · (log w + 1) / 2.
+		lg := 0
+		for p := 1; p < w; p <<= 1 {
+			lg++
+		}
+		if want := lg * (lg + 1) / 2; bn.Depth() != want {
+			t.Errorf("width %d: depth = %d, want %d", w, bn.Depth(), want)
+		}
+		// Every layer is a perfect matching: w/2 balancers covering all wires.
+		for li, layer := range bn.Layers {
+			if len(layer) != w/2 {
+				t.Errorf("width %d layer %d: %d balancers, want %d", w, li, len(layer), w/2)
+			}
+			seen := make(map[int]bool)
+			for _, b := range layer {
+				if seen[b.Top] || seen[b.Bottom] || b.Top == b.Bottom {
+					t.Errorf("width %d layer %d: wire reused", w, li)
+				}
+				seen[b.Top] = true
+				seen[b.Bottom] = true
+			}
+		}
+		// OutPerm is a permutation.
+		seen := make(map[int]bool)
+		for _, p := range bn.OutPerm {
+			if p < 0 || p >= w || seen[p] {
+				t.Fatalf("width %d: OutPerm not a permutation: %v", w, bn.OutPerm)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestBitonicRejectsNonPowers(t *testing.T) {
+	for _, w := range []int{0, 3, 6, 12, -4} {
+		if _, err := Bitonic(w); err == nil {
+			t.Errorf("width %d accepted", w)
+		}
+	}
+}
+
+func TestStepPropertyUniformInput(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16} {
+		bn, err := Bitonic(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tokens := range []int{1, w - 1, w, w + 1, 3*w + 2, 10 * w} {
+			in := make([]int, w)
+			for i := 0; i < tokens; i++ {
+				in[i%w]++
+			}
+			out, err := bn.Quiescent(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckStepProperty(out); err != nil {
+				t.Errorf("width %d tokens %d: %v (out=%v)", w, tokens, err, out)
+			}
+		}
+	}
+}
+
+func TestStepPropertySkewedInput(t *testing.T) {
+	// The counting-network guarantee holds for arbitrary input
+	// distributions, including everything on one wire.
+	rng := rand.New(rand.NewSource(31))
+	for _, w := range []int{2, 4, 8, 16} {
+		bn, err := Bitonic(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			in := make([]int, w)
+			for i := range in {
+				in[i] = rng.Intn(7)
+			}
+			if trial == 0 {
+				in = make([]int, w)
+				in[0] = 3*w + 1 // fully skewed
+			}
+			out, err := bn.Quiescent(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckStepProperty(out); err != nil {
+				t.Errorf("width %d in %v: %v (out=%v)", w, in, err, out)
+			}
+			// Conservation.
+			sumIn, sumOut := 0, 0
+			for _, x := range in {
+				sumIn += x
+			}
+			for _, y := range out {
+				sumOut += y
+			}
+			if sumIn != sumOut {
+				t.Errorf("width %d: %d tokens in, %d out", w, sumIn, sumOut)
+			}
+		}
+	}
+}
+
+func TestStepPropertyQuick(t *testing.T) {
+	bn, err := Bitonic(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [8]uint8) bool {
+		in := make([]int, 8)
+		for i, x := range raw {
+			in[i] = int(x % 9)
+		}
+		out, err := bn.Quiescent(in)
+		if err != nil {
+			return false
+		}
+		return CheckStepProperty(out) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckStepPropertyRejects(t *testing.T) {
+	if err := CheckStepProperty([]int{2, 0}); err == nil {
+		t.Error("gap of 2 accepted")
+	}
+	if err := CheckStepProperty([]int{0, 1}); err == nil {
+		t.Error("increasing step accepted")
+	}
+	if err := CheckStepProperty([]int{3, 3, 2, 2}); err != nil {
+		t.Errorf("valid step rejected: %v", err)
+	}
+}
+
+func TestBitonicWidthOne(t *testing.T) {
+	bn, err := Bitonic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bn.Depth() != 0 || bn.BalancerCount() != 0 {
+		t.Errorf("width-1 network should be empty: depth=%d", bn.Depth())
+	}
+	out, err := bn.Quiescent([]int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 5 {
+		t.Errorf("width-1 output = %v", out)
+	}
+}
+
+func TestLogicalOutput(t *testing.T) {
+	bn, err := Bitonic(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, w := range bn.OutPerm {
+		if got := bn.LogicalOutput(w); got != li {
+			t.Errorf("LogicalOutput(%d) = %d, want %d", w, got, li)
+		}
+	}
+}

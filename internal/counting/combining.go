@@ -1,0 +1,307 @@
+package counting
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// Request is one counting operation in a long-lived execution: node Node
+// asks for a count at round Time. Operation identifiers are indices into
+// the request slice.
+type Request struct {
+	Node, Time int
+}
+
+// AddRequest is one fetch-and-add operation: node Node adds Amount (≥ 1)
+// to the shared accumulator at round Time and receives the inclusive prefix
+// sum. Distributed addition is the open problem the paper closes with
+// (Fatourou & Herlihy's adding networks, reference [5]); with all amounts
+// equal to one it degenerates to counting.
+type AddRequest struct {
+	Node, Time, Amount int
+}
+
+// Combining is a long-lived combining-tree counter on a rooted spanning
+// tree: the authoritative counter lives at the root; nodes batch their own
+// pending operations together with their children's combined demands into a
+// single upstream request, and split the granted interval back down in
+// batch order. Each node keeps at most one request in flight toward the
+// root (Raymond-style), so link bandwidth stays within the model's budget
+// while concurrent bursts still combine.
+//
+// This is the message-passing form of software combining (the counting
+// side's classic scalability technique), and the natural long-lived
+// opponent for the long-lived arrow protocol.
+type Combining struct {
+	tree    *tree.Tree
+	reqs    []Request
+	amounts []int // per-op addend; all ones for pure counting
+
+	byTime map[int][]int
+	lastT  int
+
+	// Per-node batching state.
+	pending   [][]entry // composition of the batch being accumulated
+	demand    []int     // total amount in pending
+	inFlight  []bool    // an UP has been sent and no grant received yet
+	sentBatch [][]entry // composition of the in-flight batch
+
+	sum   int // root's accumulator
+	value []int
+	done  []int
+}
+
+// entry is one component of a batch: either amount ops issued locally
+// (child == -1, ops listed) or a child's combined request.
+type entry struct {
+	child  int // -1 for local operations
+	amount int
+	ops    []int // local op ids (child == -1)
+}
+
+// NewCombining prepares a combining-counter run for the given request
+// schedule (every operation adds one).
+func NewCombining(t *tree.Tree, reqs []Request) (*Combining, error) {
+	amounts := make([]int, len(reqs))
+	for i := range amounts {
+		amounts[i] = 1
+	}
+	return newCombining(t, reqs, amounts)
+}
+
+// NewAdder prepares a combining fetch-and-add run: a distributed addition
+// per the paper's closing open question. Each operation's value is the
+// inclusive prefix sum of the addends in the order the root serves them.
+func NewAdder(t *tree.Tree, reqs []AddRequest) (*Combining, error) {
+	plain := make([]Request, len(reqs))
+	amounts := make([]int, len(reqs))
+	for i, r := range reqs {
+		if r.Amount < 1 {
+			return nil, fmt.Errorf("counting: add request %d amount %d < 1", i, r.Amount)
+		}
+		plain[i] = Request{Node: r.Node, Time: r.Time}
+		amounts[i] = r.Amount
+	}
+	return newCombining(t, plain, amounts)
+}
+
+func newCombining(t *tree.Tree, reqs []Request, amounts []int) (*Combining, error) {
+	n := t.N()
+	c := &Combining{
+		tree:      t,
+		reqs:      append([]Request(nil), reqs...),
+		amounts:   amounts,
+		byTime:    make(map[int][]int),
+		pending:   make([][]entry, n),
+		demand:    make([]int, n),
+		inFlight:  make([]bool, n),
+		sentBatch: make([][]entry, n),
+		value:     make([]int, len(reqs)),
+		done:      make([]int, len(reqs)),
+	}
+	for op, r := range c.reqs {
+		if r.Node < 0 || r.Node >= n {
+			return nil, fmt.Errorf("counting: request %d node %d out of range", op, r.Node)
+		}
+		if r.Time < 0 {
+			return nil, fmt.Errorf("counting: request %d time %d negative", op, r.Time)
+		}
+		c.byTime[r.Time] = append(c.byTime[r.Time], op)
+		if r.Time > c.lastT {
+			c.lastT = r.Time
+		}
+		c.done[op] = -1
+	}
+	return c, nil
+}
+
+// PendingUntil implements sim.Scheduler.
+func (c *Combining) PendingUntil() int { return c.lastT }
+
+// Start issues round-zero requests and flushes them (round 0 has no Tick).
+func (c *Combining) Start(env *sim.Env, node int) {
+	c.issueDue(env, node)
+	c.flush(env, node)
+}
+
+// Tick runs after the round's deliveries: it issues the requests scheduled
+// for this round and flushes everything that accumulated — locally issued
+// operations and children's combined demands batch into a single upstream
+// message per node per round, at no latency cost (Tick precedes the send
+// phase).
+func (c *Combining) Tick(env *sim.Env, node int) {
+	c.issueDue(env, node)
+	c.flush(env, node)
+}
+
+func (c *Combining) issueDue(env *sim.Env, node int) {
+	for _, op := range c.byTime[env.Round()] {
+		if c.reqs[op].Node == node {
+			c.addLocal(node, op)
+		}
+	}
+}
+
+// addLocal records a locally issued operation in the accumulating batch.
+func (c *Combining) addLocal(node, op int) {
+	amt := c.amounts[op]
+	// Merge into an existing local entry if the batch tail is local.
+	if k := len(c.pending[node]); k > 0 && c.pending[node][k-1].child == -1 {
+		c.pending[node][k-1].amount += amt
+		c.pending[node][k-1].ops = append(c.pending[node][k-1].ops, op)
+	} else {
+		c.pending[node] = append(c.pending[node], entry{child: -1, amount: amt, ops: []int{op}})
+	}
+	c.demand[node] += amt
+}
+
+// flush sends the pending batch upward (or serves it, at the root) when
+// allowed: the root serves immediately; other nodes need a free slot.
+func (c *Combining) flush(env *sim.Env, node int) {
+	if c.demand[node] == 0 {
+		return
+	}
+	if node == c.tree.Root() {
+		batch := c.pending[node]
+		c.pending[node] = nil
+		c.demand[node] = 0
+		c.serve(env, node, batch)
+		return
+	}
+	if c.inFlight[node] {
+		return // will flush when the grant returns
+	}
+	c.inFlight[node] = true
+	c.sentBatch[node] = c.pending[node]
+	amount := c.demand[node]
+	c.pending[node] = nil
+	c.demand[node] = 0
+	env.Send(node, c.tree.Parent(node), sim.Message{Kind: kindUp, A: amount})
+}
+
+// serve hands out sums starting at the root's accumulator to a batch.
+func (c *Combining) serve(env *sim.Env, node int, batch []entry) {
+	c.sum = c.assign(env, node, c.sum, batch)
+}
+
+// assign walks a batch, giving local operations their inclusive prefix sums
+// and children sub-intervals; start is the exclusive running sum before the
+// batch. It returns the running sum after the batch.
+func (c *Combining) assign(env *sim.Env, node, start int, batch []entry) int {
+	running := start
+	for _, e := range batch {
+		if e.child == -1 {
+			for _, op := range e.ops {
+				running += c.amounts[op]
+				c.value[op] = running
+				c.done[op] = env.Round()
+			}
+			continue
+		}
+		env.Send(node, e.child, sim.Message{Kind: kindDown, A: running, B: e.amount})
+		running += e.amount
+	}
+	return running
+}
+
+// distribute splits a granted sum interval (start, start+k] over the node's
+// in-flight batch.
+func (c *Combining) distribute(env *sim.Env, node, start, k int) {
+	batch := c.sentBatch[node]
+	c.sentBatch[node] = nil
+	c.inFlight[node] = false
+	total := 0
+	for _, e := range batch {
+		total += e.amount
+	}
+	if total != k {
+		env.Fail(fmt.Errorf("counting: node %d granted %d for batch of %d", node, k, total))
+		return
+	}
+	c.assign(env, node, start, batch)
+	// Demand accumulated while the batch was in flight is flushed by this
+	// round's Tick.
+}
+
+// Deliver handles combined requests from children and grants from parents.
+func (c *Combining) Deliver(env *sim.Env, node int, m sim.Message) {
+	switch m.Kind {
+	case kindUp:
+		c.pending[node] = append(c.pending[node], entry{child: m.From, amount: m.A})
+		c.demand[node] += m.A
+		// Flushed by this round's Tick, so same-round arrivals combine.
+	case kindDown:
+		c.distribute(env, node, m.A, m.B)
+	default:
+		env.Fail(fmt.Errorf("counting: combining got unexpected kind %d", m.Kind))
+	}
+}
+
+// CountOf returns the count granted to op (1-based), or 0. For adder runs
+// this is the inclusive prefix sum — see ValueOf.
+func (c *Combining) CountOf(op int) int { return c.value[op] }
+
+// ValueOf returns the inclusive prefix sum returned to op (fetch-and-add
+// semantics: the accumulator value after op's addend took effect).
+func (c *Combining) ValueOf(op int) int { return c.value[op] }
+
+// CompletedAt returns the round op received its count, or -1.
+func (c *Combining) CompletedAt(op int) int { return c.done[op] }
+
+// Latency returns completion minus issue round for op, or -1.
+func (c *Combining) Latency(op int) int {
+	if c.done[op] < 0 {
+		return -1
+	}
+	return c.done[op] - c.reqs[op].Time
+}
+
+// TotalLatency sums latencies over all operations.
+func (c *Combining) TotalLatency() int {
+	total := 0
+	for op := range c.reqs {
+		total += c.Latency(op)
+	}
+	return total
+}
+
+// Validate checks the counting correctness condition for unit amounts: the
+// values granted are exactly {1, …, len(reqs)}. For adder runs use
+// ValidateSums.
+func (c *Combining) Validate() error {
+	seen := make([]bool, len(c.reqs)+1)
+	for op := range c.reqs {
+		v := c.value[op]
+		if v < 1 || v > len(c.reqs) {
+			return fmt.Errorf("counting: op %d got count %d outside 1..%d", op, v, len(c.reqs))
+		}
+		if seen[v] {
+			return fmt.Errorf("counting: count %d granted twice", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// ValidateSums checks the fetch-and-add correctness condition: there is a
+// total order of the operations in which each returned value equals the
+// inclusive prefix sum of the addends. Equivalently, sorting operations by
+// returned value must reproduce value_i = value_{i-1} + amount_i.
+func (c *Combining) ValidateSums() error {
+	order := make([]int, len(c.reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return c.value[order[i]] < c.value[order[j]] })
+	running := 0
+	for _, op := range order {
+		running += c.amounts[op]
+		if c.value[op] != running {
+			return fmt.Errorf("counting: op %d returned %d, want prefix sum %d", op, c.value[op], running)
+		}
+	}
+	return nil
+}

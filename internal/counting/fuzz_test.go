@@ -1,0 +1,66 @@
+package counting
+
+import "testing"
+
+// FuzzBitonicStepProperty feeds arbitrary token distributions through the
+// bitonic network and requires the step property — the defining invariant
+// of a counting network — on every quiescent output.
+func FuzzBitonicStepProperty(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 255})
+	f.Add([]byte{})
+	bn, err := Bitonic(8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := make([]int, 8)
+		for i := range in {
+			if i < len(data) {
+				in[i] = int(data[i]) % 32
+			}
+		}
+		out, err := bn.Quiescent(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckStepProperty(out); err != nil {
+			t.Fatalf("input %v: %v", in, err)
+		}
+		sumIn, sumOut := 0, 0
+		for _, x := range in {
+			sumIn += x
+		}
+		for _, y := range out {
+			sumOut += y
+		}
+		if sumIn != sumOut {
+			t.Fatalf("token conservation violated: %d in, %d out", sumIn, sumOut)
+		}
+	})
+}
+
+// FuzzPeriodicStepProperty is the same invariant for the periodic network.
+func FuzzPeriodicStepProperty(f *testing.F) {
+	f.Add([]byte{9, 9, 9, 9, 0, 0, 0, 0})
+	f.Add([]byte{1})
+	bn, err := Periodic(8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := make([]int, 8)
+		for i := range in {
+			if i < len(data) {
+				in[i] = int(data[i]) % 32
+			}
+		}
+		out, err := bn.Quiescent(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckStepProperty(out); err != nil {
+			t.Fatalf("input %v: %v", in, err)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package counting
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+func TestCountNetCustomHosts(t *testing.T) {
+	// Hosting ablation. Both embeddings must validate; under the model's
+	// one-message-per-round budget the co-located embedding (all
+	// balancers at the root) actually BEATS round-robin spreading at this
+	// scale: a token traverses co-located balancers with local compute
+	// (free) and pays only entry + grant, while the spread embedding pays
+	// real tree hops between every layer. This is the same phenomenon as
+	// the E12 width ablation — in this model, hop counts dominate
+	// hot-spot contention until the hot spot saturates.
+	g := graph.Complete(16)
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootOnly := func(layer, index, global, n int) int { return 0 }
+	cn, err := NewCountNet(tr, reqAll(16), 4, rootOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := Run(g, cn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := NewCountNet(tr, reqAll(16), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Run(g, spread, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if central.TotalDelay >= dist.TotalDelay {
+		t.Errorf("co-located embedding (%d) lost to spread embedding (%d); the hop/hot-spot balance shifted — investigate",
+			central.TotalDelay, dist.TotalDelay)
+	}
+	// The hot spot is visible in the backlog statistics (the initial
+	// all-at-once token wave already queues 14 deep in both embeddings).
+	if central.Stats.MaxInboxBacklog < dist.Stats.MaxInboxBacklog {
+		t.Errorf("co-located backlog %d below spread backlog %d",
+			central.Stats.MaxInboxBacklog, dist.Stats.MaxInboxBacklog)
+	}
+}
+
+func TestCountNetOnStarSerializes(t *testing.T) {
+	// Counting network embedded on a star: every inter-balancer hop
+	// crosses the hub, so the hub's capacity dominates.
+	n := 17
+	g := graph.Star(n)
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := NewCountNet(tr, reqAll(n), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, cn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MaxInboxBacklog == 0 {
+		t.Error("expected hub contention on the star")
+	}
+}
+
+func TestCountNetShortcutsOnCompleteGraph(t *testing.T) {
+	// Direct-edge routing must remain valid and strictly cheaper than
+	// spanning-tree routing on the complete graph.
+	g := graph.Complete(32)
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTree, err := NewCountNet(tr, reqAll(32), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeRes, err := Run(g, viaTree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewCountNet(tr, reqAll(32), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.WithShortcuts()
+	directRes, err := Run(g, direct, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if directRes.TotalDelay >= treeRes.TotalDelay {
+		t.Errorf("shortcuts (%d) not cheaper than tree routing (%d)",
+			directRes.TotalDelay, treeRes.TotalDelay)
+	}
+}
+
+func TestCountNetShortcutsNoopOnSparseGraph(t *testing.T) {
+	// On the list almost no host pair is adjacent; shortcut mode must
+	// still validate (and routes mostly via the tree).
+	g := graph.Path(16)
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := NewCountNet(tr, reqAll(16), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn.WithShortcuts()
+	if _, err := Run(g, cn, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeCountDelayFormulaOnPerfectBinary(t *testing.T) {
+	// On a perfect binary tree with all nodes requesting: the up phase
+	// ends at round = height (leaves report at 0... each level adds ≥1
+	// round), and every node's delay is at least its depth (the block
+	// message must travel down to it).
+	g := graph.PerfectMAryTree(2, 5)
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := NewTreeCount(tr, reqAll(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, tc, 1); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if tc.Delay(v) < tr.Depth(v) {
+			t.Errorf("node %d delay %d below its depth %d", v, tc.Delay(v), tr.Depth(v))
+		}
+	}
+	// Root's rank is fixed only after the convergecast: ≥ height rounds.
+	if tc.Delay(0) < tr.Height() {
+		t.Errorf("root delay %d below tree height %d", tc.Delay(0), tr.Height())
+	}
+}

@@ -1,0 +1,63 @@
+package counting
+
+import "fmt"
+
+// Periodic constructs the periodic counting network (Aspnes, Herlihy and
+// Shavit, after the balanced periodic structure of Dowd, Perl, Rudolph and
+// Saks): log w identical Block[w] stages in sequence. A Block[w] stage has
+// log w layers; layer ℓ splits the wires into aligned groups of size w/2^ℓ
+// and pairs each wire with its mirror image within its group (the first
+// layer joins wire i with wire w−1−i, the next layer mirrors within each
+// half, and so on down to adjacent pairs).
+//
+// Periodic[w] has the same Θ(log² w) depth as Bitonic[w] but a strictly
+// repeating structure, which makes it attractive for hardware and for
+// embedding on networks; the experiments compare both. A single Block[w]
+// alone is NOT a counting network for w ≥ 4 — the tests demonstrate that
+// too.
+func Periodic(width int) (*BalancerNetwork, error) {
+	if width < 1 || width&(width-1) != 0 {
+		return nil, fmt.Errorf("counting: periodic width %d is not a power of two", width)
+	}
+	lg := 0
+	for p := 1; p < width; p <<= 1 {
+		lg++
+	}
+	bn := &BalancerNetwork{Width: width, OutPerm: make([]int, width)}
+	for i := range bn.OutPerm {
+		bn.OutPerm[i] = i
+	}
+	for block := 0; block < lg; block++ {
+		bn.Layers = append(bn.Layers, blockLayers(width)...)
+	}
+	return bn, nil
+}
+
+// Block returns a single Block[w] stage as a standalone network, for
+// demonstrating that one stage alone does not count.
+func Block(width int) (*BalancerNetwork, error) {
+	if width < 1 || width&(width-1) != 0 {
+		return nil, fmt.Errorf("counting: block width %d is not a power of two", width)
+	}
+	bn := &BalancerNetwork{Width: width, OutPerm: make([]int, width)}
+	for i := range bn.OutPerm {
+		bn.OutPerm[i] = i
+	}
+	bn.Layers = blockLayers(width)
+	return bn, nil
+}
+
+// blockLayers emits the log w reflection layers of one Block[w] stage.
+func blockLayers(width int) [][]Balancer {
+	var layers [][]Balancer
+	for g := width; g >= 2; g /= 2 {
+		layer := make([]Balancer, 0, width/2)
+		for start := 0; start < width; start += g {
+			for i := 0; i < g/2; i++ {
+				layer = append(layer, Balancer{Top: start + i, Bottom: start + g - 1 - i})
+			}
+		}
+		layers = append(layers, layer)
+	}
+	return layers
+}

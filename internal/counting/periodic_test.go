@@ -1,0 +1,156 @@
+package counting
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+func TestPeriodicShape(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		bn, err := Periodic(w)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		lg := 0
+		for p := 1; p < w; p <<= 1 {
+			lg++
+		}
+		if want := lg * lg; bn.Depth() != want {
+			t.Errorf("width %d: depth = %d, want %d", w, bn.Depth(), want)
+		}
+		for li, layer := range bn.Layers {
+			if len(layer) != w/2 {
+				t.Errorf("width %d layer %d: %d balancers", w, li, len(layer))
+			}
+			seen := make(map[int]bool)
+			for _, b := range layer {
+				if seen[b.Top] || seen[b.Bottom] || b.Top == b.Bottom {
+					t.Errorf("width %d layer %d: wire reused", w, li)
+				}
+				seen[b.Top] = true
+				seen[b.Bottom] = true
+			}
+		}
+	}
+	if _, err := Periodic(6); err == nil {
+		t.Error("non-power width accepted")
+	}
+}
+
+func TestPeriodicStepProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		bn, err := Periodic(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			in := make([]int, w)
+			for i := range in {
+				in[i] = rng.Intn(7)
+			}
+			out, err := bn.Quiescent(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckStepProperty(out); err != nil {
+				t.Errorf("width %d in %v: %v", w, in, err)
+			}
+		}
+	}
+}
+
+func TestPeriodicStepPropertyQuick(t *testing.T) {
+	bn, err := Periodic(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [8]uint8) bool {
+		in := make([]int, 8)
+		for i, x := range raw {
+			in[i] = int(x % 9)
+		}
+		out, err := bn.Quiescent(in)
+		if err != nil {
+			return false
+		}
+		return CheckStepProperty(out) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleBlockIsNotACountingNetwork(t *testing.T) {
+	// The periodic construction needs all log w stages: one Block alone
+	// violates the step property on some input for w ≥ 8.
+	bn, err := Block(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		in := make([]int, 8)
+		for i := range in {
+			in[i] = rng.Intn(5)
+		}
+		out, err := bn.Quiescent(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if CheckStepProperty(out) != nil {
+			return // found the expected counterexample
+		}
+	}
+	t.Error("single Block[8] satisfied the step property on 2000 random inputs; it should not be a counting network")
+}
+
+func TestPeriodicDeeperThanBitonicBeyond4(t *testing.T) {
+	// Both have depth lg², equal — the structural difference is the
+	// repetition, not the depth. Pin both depths.
+	for _, w := range []int{4, 16} {
+		p, err := Periodic(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, err := Bitonic(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg := 0
+		for q := 1; q < w; q <<= 1 {
+			lg++
+		}
+		if p.Depth() != lg*lg {
+			t.Errorf("periodic depth %d, want %d", p.Depth(), lg*lg)
+		}
+		if bt.Depth() != lg*(lg+1)/2 {
+			t.Errorf("bitonic depth %d, want %d", bt.Depth(), lg*(lg+1)/2)
+		}
+	}
+}
+
+func TestCountNetWithPeriodicNetwork(t *testing.T) {
+	// The distributed embedding works with a periodic network too: swap
+	// the network inside CountNet via NewCountNetFrom.
+	g := graph.Complete(16)
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Periodic(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := NewCountNetFrom(tr, reqAll(16), net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, cn, 1); err != nil {
+		t.Errorf("periodic countnet: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+package graph
+
+import "fmt"
+
+// CubeConnectedCycles returns CCC(d): each vertex of the d-dimensional
+// hypercube is replaced by a cycle of d vertices, with cycle position p of
+// corner x connected to cycle position p of corner x ⊕ 2^p. The result has
+// n = d·2^d vertices, constant degree 3, and diameter Θ(d) = Θ(log n) —
+// a constant-degree stand-in for the hypercube, so Corollary 4.2's
+// O(n log n) queuing bound applies directly.
+//
+// Vertex numbering: (x, p) ↦ x·d + p.
+func CubeConnectedCycles(d int) *Graph {
+	if d < 3 {
+		panic(fmt.Sprintf("graph: CCC needs dimension ≥ 3, got %d", d))
+	}
+	corners := 1 << uint(d)
+	b := NewBuilder(fmt.Sprintf("ccc(%d)", d), d*corners)
+	id := func(x, p int) int { return x*d + p }
+	for x := 0; x < corners; x++ {
+		for p := 0; p < d; p++ {
+			b.MustAddEdge(id(x, p), id(x, (p+1)%d)) // cycle edge
+			y := x ^ (1 << uint(p))
+			if x < y {
+				b.MustAddEdge(id(x, p), id(y, p)) // cube edge
+			}
+		}
+	}
+	return b.Build()
+}
+
+// DeBruijn returns the undirected binary de Bruijn graph on 2^d vertices:
+// u is adjacent to (2u) mod n and (2u+1) mod n (self-loops and duplicate
+// edges skipped). Degree ≤ 4, diameter d = log₂ n — another constant-degree
+// low-diameter family for the queuing-versus-counting comparison.
+func DeBruijn(d int) *Graph {
+	if d < 1 || d > 24 {
+		panic(fmt.Sprintf("graph: de Bruijn dimension %d out of range", d))
+	}
+	n := 1 << uint(d)
+	b := NewBuilder(fmt.Sprintf("debruijn(%d)", d), n)
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < 2; bit++ {
+			v := (2*u + bit) % n
+			if u != v && !b.has(u, v) {
+				b.MustAddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// has reports whether the builder already contains edge {u, v}.
+func (b *Builder) has(u, v int) bool { return b.seen[edgeKey(u, v)] }

@@ -1,0 +1,70 @@
+package graph
+
+import "testing"
+
+func TestCubeConnectedCycles(t *testing.T) {
+	for _, d := range []int{3, 4, 5} {
+		g := CubeConnectedCycles(d)
+		if want := d * (1 << uint(d)); g.N() != want {
+			t.Fatalf("CCC(%d): n = %d, want %d", d, g.N(), want)
+		}
+		// Every vertex has degree exactly 3 (two cycle + one cube edge).
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != 3 {
+				t.Fatalf("CCC(%d): degree(%d) = %d, want 3", d, v, g.Degree(v))
+			}
+		}
+		if !g.IsConnected() {
+			t.Errorf("CCC(%d) disconnected", d)
+		}
+		// Diameter is Θ(d): for CCC(3) the exact diameter is 6.
+		if d == 3 {
+			if got := g.Diameter(); got != 6 {
+				t.Errorf("CCC(3) diameter = %d, want 6", got)
+			}
+		}
+	}
+}
+
+func TestCCCSmallDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CCC(2) did not panic")
+		}
+	}()
+	CubeConnectedCycles(2)
+}
+
+func TestDeBruijn(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 6, 8} {
+		g := DeBruijn(d)
+		if g.N() != 1<<uint(d) {
+			t.Fatalf("deBruijn(%d): n = %d", d, g.N())
+		}
+		if !g.IsConnected() {
+			t.Errorf("deBruijn(%d) disconnected", d)
+		}
+		if g.MaxDegree() > 4 {
+			t.Errorf("deBruijn(%d): max degree %d > 4", d, g.MaxDegree())
+		}
+		// Diameter is at most d (shift in one bit per hop).
+		if diam := g.Diameter(); diam > d {
+			t.Errorf("deBruijn(%d): diameter %d > %d", d, diam, d)
+		}
+	}
+}
+
+func TestDeBruijnAdjacency(t *testing.T) {
+	g := DeBruijn(3) // 8 vertices
+	// Vertex 3 (011) shifts to 6 (110) and 7 (111).
+	if !g.HasEdge(3, 6) || !g.HasEdge(3, 7) {
+		t.Error("shift edges of vertex 3 missing")
+	}
+	// 0 shifts to 0 (self, skipped) and 1.
+	if !g.HasEdge(0, 1) {
+		t.Error("edge 0-1 missing")
+	}
+	if g.HasEdge(0, 0) {
+		t.Error("self loop present")
+	}
+}

@@ -1,0 +1,44 @@
+package graph
+
+import "testing"
+
+// FuzzParseDims hammers the topology-name parser: it must never panic and
+// must only accept well-formed dimension lists.
+func FuzzParseDims(f *testing.F) {
+	f.Add("mesh(3x4x5)")
+	f.Add("mesh()")
+	f.Add("mesh(x)")
+	f.Add("mesh(3x)")
+	f.Add("torus(2x2)")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, name string) {
+		dims, ok := parseDims(name, "mesh(")
+		if !ok {
+			return
+		}
+		if len(dims) == 0 {
+			t.Fatalf("accepted %q with no dimensions", name)
+		}
+		for _, d := range dims {
+			if d < 0 {
+				t.Fatalf("accepted %q with negative dimension", name)
+			}
+		}
+	})
+}
+
+// FuzzVerifyHamiltonPath checks the validator never panics on arbitrary
+// order slices derived from fuzz bytes.
+func FuzzVerifyHamiltonPath(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{3, 3, 3})
+	f.Add([]byte{})
+	g := Path(4)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		order := make([]int, len(data))
+		for i, b := range data {
+			order[i] = int(b) - 8 // include out-of-range values
+		}
+		_ = VerifyHamiltonPath(g, order) // must not panic
+	})
+}

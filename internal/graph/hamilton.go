@@ -1,0 +1,250 @@
+package graph
+
+import "fmt"
+
+// HamiltonPath returns a Hamilton path — a permutation of the vertices in
+// which consecutive vertices are adjacent — for the topologies for which the
+// paper establishes one (Lemma 4.6): the complete graph, d-dimensional
+// meshes/tori, hypercubes, paths and rings. It reports an error for
+// topologies where no constructive path is implemented.
+//
+// The arrow protocol of Theorem 4.5 uses this path as its spanning tree;
+// combined with Lemma 4.3 (nearest-neighbour TSP on a list costs ≤ 3n) that
+// makes the queuing complexity O(n) on all of these graphs.
+func HamiltonPath(g *Graph) ([]int, error) {
+	switch {
+	case isCompleteShape(g):
+		return identityOrder(g.N()), nil
+	case isPathShape(g):
+		return pathEndpointsOrder(g)
+	default:
+		// Structured constructions first, then a generic search for
+		// small graphs.
+		if order, ok := hamiltonByName(g); ok {
+			return order, nil
+		}
+		if g.N() <= 16 {
+			if order, ok := hamiltonBacktrack(g); ok {
+				return order, nil
+			}
+		}
+		return nil, fmt.Errorf("graph: no Hamilton path construction for %s", g.Name())
+	}
+}
+
+// VerifyHamiltonPath reports whether order is a Hamilton path of g: a
+// permutation of 0..n-1 whose consecutive entries are adjacent in g.
+func VerifyHamiltonPath(g *Graph, order []int) error {
+	n := g.N()
+	if len(order) != n {
+		return fmt.Errorf("graph: order has %d entries, want %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n {
+			return fmt.Errorf("graph: vertex %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("graph: vertex %d repeated", v)
+		}
+		seen[v] = true
+	}
+	for i := 1; i < len(order); i++ {
+		if !g.HasEdge(order[i-1], order[i]) {
+			return fmt.Errorf("graph: consecutive vertices %d,%d not adjacent", order[i-1], order[i])
+		}
+	}
+	return nil
+}
+
+// MeshHamiltonPath returns the boustrophedon ("snake") Hamilton path of the
+// d-dimensional mesh with the given side lengths, following the inductive
+// proof of Lemma 4.6: a d-dimensional mesh is a stack of (d-1)-dimensional
+// meshes; traverse each slab with the inductively constructed path,
+// alternating its direction so consecutive slab traversals abut.
+func MeshHamiltonPath(dims ...int) []int {
+	if len(dims) == 0 {
+		return []int{0}
+	}
+	inner := MeshHamiltonPath(dims[1:]...)
+	stride := len(inner) // vertices per slab = product of trailing dims
+	order := make([]int, 0, stride*dims[0])
+	for i := 0; i < dims[0]; i++ {
+		base := i * stride
+		if i%2 == 0 {
+			for _, off := range inner {
+				order = append(order, base+off)
+			}
+		} else {
+			for j := len(inner) - 1; j >= 0; j-- {
+				order = append(order, base+inner[j])
+			}
+		}
+	}
+	return order
+}
+
+// HypercubeHamiltonPath returns the Gray-code Hamilton path of the
+// d-dimensional hypercube: vertex i of the path is i ^ (i >> 1).
+func HypercubeHamiltonPath(d int) []int {
+	n := 1 << d
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		order[i] = i ^ (i >> 1)
+	}
+	return order
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// isCompleteShape reports whether every vertex has degree n-1.
+func isCompleteShape(g *Graph) bool {
+	n := g.N()
+	if n == 0 {
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != n-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// isPathShape reports whether g is itself a path graph.
+func isPathShape(g *Graph) bool {
+	n := g.N()
+	if n == 1 {
+		return true
+	}
+	ones := 0
+	for v := 0; v < n; v++ {
+		switch g.Degree(v) {
+		case 1:
+			ones++
+		case 2:
+		default:
+			return false
+		}
+	}
+	return ones == 2 && g.IsConnected()
+}
+
+// pathEndpointsOrder walks a path graph from one endpoint to the other.
+func pathEndpointsOrder(g *Graph) ([]int, error) {
+	n := g.N()
+	if n == 1 {
+		return []int{0}, nil
+	}
+	start := -1
+	for v := 0; v < n; v++ {
+		if g.Degree(v) == 1 {
+			start = v
+			break
+		}
+	}
+	order := make([]int, 0, n)
+	prev, cur := -1, start
+	for len(order) < n {
+		order = append(order, cur)
+		next := -1
+		for _, w := range g.Neighbors(cur) {
+			if w != prev {
+				next = w
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		prev, cur = cur, next
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("graph: walk covered %d of %d vertices", len(order), n)
+	}
+	return order, nil
+}
+
+// hamiltonByName dispatches on the topology name for the structured
+// constructions (mesh, torus, hypercube, ring).
+func hamiltonByName(g *Graph) ([]int, bool) {
+	var d int
+	if n, _ := fmt.Sscanf(g.Name(), "hypercube(%d)", &d); n == 1 {
+		return HypercubeHamiltonPath(d), true
+	}
+	if dims, ok := parseDims(g.Name(), "mesh("); ok {
+		return MeshHamiltonPath(dims...), true
+	}
+	if dims, ok := parseDims(g.Name(), "torus("); ok {
+		return MeshHamiltonPath(dims...), true // mesh snake works on torus too
+	}
+	if n := g.N(); g.Name() == fmt.Sprintf("ring(%d)", n) {
+		return identityOrder(n), true
+	}
+	return nil, false
+}
+
+// parseDims parses "prefixAxBxC)" into []int{A,B,C}.
+func parseDims(name, prefix string) ([]int, bool) {
+	if len(name) < len(prefix) || name[:len(prefix)] != prefix {
+		return nil, false
+	}
+	body := name[len(prefix) : len(name)-1]
+	var dims []int
+	cur := 0
+	have := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c >= '0' && c <= '9':
+			cur = cur*10 + int(c-'0')
+			have = true
+		case c == 'x' && have:
+			dims = append(dims, cur)
+			cur, have = 0, false
+		default:
+			return nil, false
+		}
+	}
+	if !have {
+		return nil, false
+	}
+	dims = append(dims, cur)
+	return dims, true
+}
+
+// hamiltonBacktrack searches for a Hamilton path by depth-first backtracking.
+// Exponential; only used for small graphs in tests.
+func hamiltonBacktrack(g *Graph) ([]int, bool) {
+	n := g.N()
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		used[v] = true
+		order = append(order, v)
+		if len(order) == n {
+			return true
+		}
+		for _, w := range g.Neighbors(v) {
+			if !used[w] && dfs(w) {
+				return true
+			}
+		}
+		used[v] = false
+		order = order[:len(order)-1]
+		return false
+	}
+	for s := 0; s < n; s++ {
+		if dfs(s) {
+			return order, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,115 @@
+package graph
+
+// BFS returns the distance (in hops) from src to every vertex, with -1 for
+// unreachable vertices, together with a BFS parent array (parent[src] = src,
+// parent[v] = -1 for unreachable v). Neighbors are visited in ascending
+// order, so the result is deterministic.
+func (g *Graph) BFS(src int) (dist, parent []int) {
+	n := g.N()
+	dist = make([]int, n)
+	parent = make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// IsConnected reports whether the graph is connected. The empty graph and
+// the single vertex are connected.
+func (g *Graph) IsConnected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	dist, _ := g.BFS(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum distance from v to any vertex, or -1 if
+// some vertex is unreachable from v.
+func (g *Graph) Eccentricity(v int) int {
+	dist, _ := g.BFS(v)
+	ecc := 0
+	for _, d := range dist {
+		if d < 0 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact diameter by running a BFS from every vertex
+// (O(n·m)); it returns -1 for disconnected graphs. Intended for the problem
+// sizes used in the experiments (n up to a few thousand).
+func (g *Graph) Diameter() int {
+	if g.N() == 0 {
+		return 0
+	}
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		ecc := g.Eccentricity(v)
+		if ecc < 0 {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// DiameterDoubleSweep returns a fast lower bound on the diameter using the
+// double-sweep heuristic (exact on trees). Useful for large instances where
+// the exact all-pairs computation is too slow.
+func (g *Graph) DiameterDoubleSweep() int {
+	if g.N() == 0 {
+		return 0
+	}
+	dist, _ := g.BFS(0)
+	far := argmax(dist)
+	dist2, _ := g.BFS(far)
+	return dist2[argmax(dist2)]
+}
+
+func argmax(xs []int) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}

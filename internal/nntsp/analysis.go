@@ -1,0 +1,126 @@
+package nntsp
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// RunDecomposition is the structure used in the proof of Lemma 4.3 (see
+// Fig. 2 of the paper): the visit order of a nearest-neighbour tour on a
+// list, written as a concatenation of maximal monotone "runs". X holds the
+// quantities x_1 … x_m of the proof: x_1 is the distance from the start to
+// the last vertex of the first run, and x_i (i > 1) the distance between the
+// last vertices of runs i-1 and i.
+type RunDecomposition struct {
+	Runs [][]int // list positions of each run, in visit order
+	X    []int
+}
+
+// DecomposeListTour splits a tour on a list into maximal monotone runs.
+// positions holds the list position of each visited vertex in visit order,
+// and startPos the position of the tour's starting vertex.
+func DecomposeListTour(positions []int, startPos int) *RunDecomposition {
+	rd := &RunDecomposition{}
+	if len(positions) == 0 {
+		return rd
+	}
+	cur := []int{positions[0]}
+	dir := 0 // +1 right, -1 left, 0 undecided
+	for i := 1; i < len(positions); i++ {
+		step := sign(positions[i] - positions[i-1])
+		switch {
+		case dir == 0 || step == dir:
+			dir = step
+			cur = append(cur, positions[i])
+		default:
+			rd.Runs = append(rd.Runs, cur)
+			cur = []int{positions[i]}
+			dir = step
+		}
+	}
+	rd.Runs = append(rd.Runs, cur)
+	// x_1 = d(root, v_1); x_i = d(v_{i-1}, v_i) for i > 1, distances on the
+	// list metric are absolute position differences.
+	prevLast := startPos
+	for _, run := range rd.Runs {
+		last := run[len(run)-1]
+		rd.X = append(rd.X, abs(last-prevLast))
+		prevLast = last
+	}
+	return rd
+}
+
+// CheckLemma44 verifies the growth inequality of Lemma 4.4 on a
+// nearest-neighbour run decomposition: x_i ≥ x_{i-1} + x_{i-2} for i ≥ 3
+// (1-based as in the paper). A violation means the tour was not produced by
+// the nearest-neighbour rule on a list.
+func (rd *RunDecomposition) CheckLemma44() error {
+	for i := 2; i < len(rd.X); i++ {
+		if rd.X[i] < rd.X[i-1]+rd.X[i-2] {
+			return fmt.Errorf("nntsp: run inequality violated at i=%d: x=%v", i+1, rd.X)
+		}
+	}
+	return nil
+}
+
+// XSum returns x_1 + … + x_m, the tour-cost expression used in Lemma 4.3.
+func (rd *RunDecomposition) XSum() int {
+	s := 0
+	for _, x := range rd.X {
+		s += x
+	}
+	return s
+}
+
+// DepthCosts computes, for a tour on a rooted tree, the per-depth cost sums
+// cost(ℓ) of Lemma 4.9: cost(v) is the tree distance from v to its successor
+// in the visit order (0 for the final vertex), and cost(ℓ) sums cost(v) over
+// visited vertices at depth ℓ. The returned slice has length Height()+1.
+func DepthCosts(t *tree.Tree, tour *Tour) []int {
+	costs := make([]int, t.Height()+1)
+	for i, v := range tour.Order {
+		var c int
+		if i+1 < len(tour.Order) {
+			c = tour.Legs[i+1]
+		}
+		costs[t.Depth(v)] += c
+	}
+	return costs
+}
+
+// CheckLemma49 verifies the per-depth budget of Lemma 4.9 for a
+// nearest-neighbour tour that starts at the root of a perfect binary tree:
+// cost(ℓ) ≤ 4·n·2^ℓ/2^d + 2d for every depth ℓ, where d is the tree height.
+func CheckLemma49(t *tree.Tree, tour *Tour) error {
+	if tour.Start != t.Root() {
+		return fmt.Errorf("nntsp: Lemma 4.9 applies to tours starting at the root")
+	}
+	d := t.Height()
+	n := t.N()
+	costs := DepthCosts(t, tour)
+	for l, c := range costs {
+		budget := 4*n*(1<<uint(l))/(1<<uint(d)) + 2*d
+		if c > budget {
+			return fmt.Errorf("nntsp: depth %d cost %d exceeds budget %d", l, c, budget)
+		}
+	}
+	return nil
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,36 @@
+package nntsp_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/nntsp"
+	"repro/internal/tree"
+)
+
+// ExampleGreedy computes the nearest-neighbour tour Lemma 4.3 reasons
+// about: on a list, from an interior start, the tour zig-zags but never
+// costs more than 3n.
+func ExampleGreedy() {
+	tr, err := tree.PathTree([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tour, err := nntsp.Greedy(tr, []int{1, 6, 3}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("visit order:", tour.Order)
+	fmt.Println("cost:", tour.Cost)
+	// Output:
+	// visit order: [3 1 6]
+	// cost: 8
+}
+
+// ExampleSteinerEdges shows the lower bound any tour must pay.
+func ExampleSteinerEdges() {
+	tr := tree.Perfect(2, 3)
+	fmt.Println(nntsp.SteinerEdges(tr, []int{3, 4}, 0))
+	// Output:
+	// 3
+}

@@ -1,0 +1,53 @@
+package nntsp
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// FuzzGreedyTour derives a random tree shape and request set from the fuzz
+// input and requires that the greedy tour is well-formed (visits each
+// request once, legs match tree distances) and never beats the Steiner
+// lower bound.
+func FuzzGreedyTour(f *testing.F) {
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 2 + int(data[0])%30
+		parent := make([]int, n)
+		for v := 1; v < n; v++ {
+			b := byte(v)
+			if v < len(data) {
+				b = data[v]
+			}
+			parent[v] = int(b) % v
+		}
+		tr, err := tree.FromParents(0, parent)
+		if err != nil {
+			t.Fatalf("parent construction must be valid: %v", err)
+		}
+		var reqs []int
+		for v := 0; v < n; v++ {
+			idx := v % len(data)
+			if data[idx]&(1<<(uint(v)%8)) != 0 {
+				reqs = append(reqs, v)
+			}
+		}
+		start := int(data[len(data)-1]) % n
+		tour, err := Greedy(tr, reqs, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(tr, reqs, tour); err != nil {
+			t.Fatal(err)
+		}
+		if st := SteinerEdges(tr, reqs, start); tour.Cost < st {
+			t.Fatalf("tour %d below Steiner bound %d", tour.Cost, st)
+		}
+	})
+}

@@ -1,0 +1,245 @@
+// Package nntsp computes nearest-neighbour traveling-salesperson tours on
+// tree metrics, the combinatorial object at the heart of the paper's queuing
+// upper bound: Theorem 4.1 (after Herlihy, Tirthapura and Wattenhofer) bounds
+// the one-shot concurrent cost of the arrow protocol on a spanning tree T by
+// twice the cost of the nearest-neighbour TSP visiting the request set on T.
+//
+// The package also provides the analyses the paper performs on that tour:
+// the Steiner-subtree lower bound, the run decomposition of Lemma 4.4 (used
+// to show the tour on a list costs at most 3n), and the per-depth cost split
+// of Lemma 4.9 (used to show the tour on a perfect binary tree costs O(n)).
+package nntsp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// Tour is the result of a nearest-neighbour TSP computation.
+type Tour struct {
+	Start int   // starting vertex ("root" of the tour)
+	Order []int // requested vertices in visit order
+	Legs  []int // Legs[i] = tree distance from previous position to Order[i]
+	Cost  int   // sum of Legs
+}
+
+// Greedy computes the nearest-neighbour tour on tree t that starts at start
+// and visits every vertex in requests: repeatedly travel to the closest
+// unvisited requested vertex, measuring distances along the tree, breaking
+// ties toward the smaller vertex id. If start itself is requested it is
+// visited first at distance zero (matching the paper's convention that the
+// tour begins at the root and visits all of R).
+//
+// The implementation runs a truncated BFS over the tree from the current
+// position to the nearest unvisited request, which costs O(|R|·n) overall —
+// fine for the experiment sizes (n up to a few tens of thousands).
+func Greedy(t *tree.Tree, requests []int, start int) (*Tour, error) {
+	n := t.N()
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("nntsp: start %d out of range [0,%d)", start, n)
+	}
+	pending := make([]bool, n)
+	count := 0
+	for _, r := range requests {
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("nntsp: request %d out of range [0,%d)", r, n)
+		}
+		if !pending[r] {
+			pending[r] = true
+			count++
+		}
+	}
+	tour := &Tour{Start: start, Order: make([]int, 0, count), Legs: make([]int, 0, count)}
+	cur := start
+	// Reusable BFS scratch.
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	neighbors := treeAdjacency(t)
+	for count > 0 {
+		next, d := nearestPending(neighbors, pending, cur, dist, &queue)
+		pending[next] = false
+		count--
+		tour.Order = append(tour.Order, next)
+		tour.Legs = append(tour.Legs, d)
+		tour.Cost += d
+		cur = next
+	}
+	return tour, nil
+}
+
+// nearestPending runs a BFS from cur over the tree adjacency and returns the
+// closest vertex with pending[v] set, breaking distance ties toward the
+// smaller vertex id (BFS visits neighbors in ascending order, so the first
+// pending vertex found at the minimal depth has the smallest id).
+func nearestPending(neighbors [][]int, pending []bool, cur int, dist []int, queue *[]int) (vertex, d int) {
+	if pending[cur] {
+		return cur, 0
+	}
+	for i := range dist {
+		dist[i] = -1
+	}
+	q := (*queue)[:0]
+	dist[cur] = 0
+	q = append(q, cur)
+	best, bestDist := -1, -1
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		if bestDist >= 0 && dist[u] >= bestDist {
+			break // all remaining vertices are at least as far
+		}
+		for _, v := range neighbors[u] {
+			if dist[v] >= 0 {
+				continue
+			}
+			dist[v] = dist[u] + 1
+			if pending[v] && (bestDist < 0 || dist[v] < bestDist || (dist[v] == bestDist && v < best)) {
+				best, bestDist = v, dist[v]
+			}
+			q = append(q, v)
+		}
+	}
+	*queue = q
+	return best, bestDist
+}
+
+// treeAdjacency expands the tree into sorted adjacency lists.
+func treeAdjacency(t *tree.Tree) [][]int {
+	adj := make([][]int, t.N())
+	for v := 0; v < t.N(); v++ {
+		if v != t.Root() {
+			p := t.Parent(v)
+			adj[v] = append(adj[v], p)
+			adj[p] = append(adj[p], v)
+		}
+	}
+	for _, a := range adj {
+		sort.Ints(a)
+	}
+	return adj
+}
+
+// SteinerEdges returns the number of tree edges in the minimal subtree
+// spanning start and all requested vertices. Any tour visiting all requests
+// from start must traverse every one of these edges at least once, and a
+// depth-first traversal traverses each at most twice, so
+//
+//	SteinerEdges ≤ optimal tour ≤ 2·SteinerEdges.
+//
+// This is the comparison baseline for the greedy tour's quality.
+func SteinerEdges(t *tree.Tree, requests []int, start int) int {
+	n := t.N()
+	marked := make([]bool, n)
+	marked[start] = true
+	for _, r := range requests {
+		marked[r] = true
+	}
+	// Re-root the tree at start (conceptually): an edge belongs to the
+	// Steiner subtree iff the side of the edge away from start contains a
+	// marked vertex. Discover vertices by BFS from start over the
+	// undirected tree; process them in reverse discovery order so children
+	// (relative to start) are handled before their parents.
+	adj := treeAdjacency(t)
+	type frame struct{ v, parent int }
+	order := make([]frame, 0, n)
+	visited := make([]bool, n)
+	visited[start] = true
+	order = append(order, frame{start, -1})
+	for head := 0; head < len(order); head++ {
+		f := order[head]
+		for _, w := range adj[f.v] {
+			if !visited[w] {
+				visited[w] = true
+				order = append(order, frame{w, f.v})
+			}
+		}
+	}
+	contains := make([]bool, n)
+	edges := 0
+	for i := len(order) - 1; i >= 0; i-- {
+		f := order[i]
+		if marked[f.v] {
+			contains[f.v] = true
+		}
+		if f.parent >= 0 && contains[f.v] {
+			edges++
+			contains[f.parent] = true
+		}
+	}
+	return edges
+}
+
+// Verify checks that the tour visits each requested vertex exactly once and
+// that each leg length matches the tree distance actually traveled.
+func Verify(t *tree.Tree, requests []int, tour *Tour) error {
+	want := make(map[int]bool, len(requests))
+	for _, r := range requests {
+		want[r] = true
+	}
+	if len(tour.Order) != len(want) {
+		return fmt.Errorf("nntsp: tour visits %d vertices, want %d", len(tour.Order), len(want))
+	}
+	cur := tour.Start
+	cost := 0
+	for i, v := range tour.Order {
+		if !want[v] {
+			return fmt.Errorf("nntsp: tour visits %d twice or uninvited", v)
+		}
+		delete(want, v)
+		if d := t.Dist(cur, v); d != tour.Legs[i] {
+			return fmt.Errorf("nntsp: leg %d has length %d, recorded %d", i, d, tour.Legs[i])
+		}
+		cost += tour.Legs[i]
+		cur = v
+	}
+	if cost != tour.Cost {
+		return fmt.Errorf("nntsp: cost %d, recorded %d", cost, tour.Cost)
+	}
+	return nil
+}
+
+// BruteForceOptimal returns the cost of the cheapest order to visit all
+// requests from start on the tree metric, by exhaustive permutation search.
+// Exponential in |requests|; only for cross-checking tiny cases in tests.
+func BruteForceOptimal(t *tree.Tree, requests []int, start int) int {
+	uniq := uniqueInts(requests)
+	best := -1
+	perm := make([]int, len(uniq))
+	copy(perm, uniq)
+	var rec func(k, cur, cost int)
+	rec = func(k, cur, cost int) {
+		if best >= 0 && cost >= best {
+			return
+		}
+		if k == len(perm) {
+			if best < 0 || cost < best {
+				best = cost
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k+1, perm[k], cost+t.Dist(cur, perm[k]))
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0, start, 0)
+	if best < 0 {
+		best = 0
+	}
+	return best
+}
+
+func uniqueInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

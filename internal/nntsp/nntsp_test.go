@@ -1,0 +1,345 @@
+package nntsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bounds"
+	"repro/internal/tree"
+)
+
+func listTree(t *testing.T, n int) *tree.Tree {
+	t.Helper()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	tr, err := tree.PathTree(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGreedyVisitsAll(t *testing.T) {
+	tr := tree.Perfect(2, 4)
+	requests := []int{3, 7, 8, 14, 5}
+	tour, err := Greedy(tr, requests, tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(tr, requests, tour); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyEmptyRequests(t *testing.T) {
+	tr := tree.Perfect(2, 3)
+	tour, err := Greedy(tr, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tour.Cost != 0 || len(tour.Order) != 0 {
+		t.Errorf("empty tour: %+v", tour)
+	}
+}
+
+func TestGreedyStartIsRequest(t *testing.T) {
+	tr := listTree(t, 10)
+	tour, err := Greedy(tr, []int{0, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tour.Order[0] != 0 || tour.Legs[0] != 0 {
+		t.Errorf("start should be visited first for free: %+v", tour)
+	}
+	if tour.Cost != 5 {
+		t.Errorf("cost = %d, want 5", tour.Cost)
+	}
+}
+
+func TestGreedyRejectsBadInput(t *testing.T) {
+	tr := listTree(t, 4)
+	if _, err := Greedy(tr, []int{7}, 0); err == nil {
+		t.Error("out-of-range request accepted")
+	}
+	if _, err := Greedy(tr, []int{1}, -1); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+}
+
+func TestGreedyDeduplicatesRequests(t *testing.T) {
+	tr := listTree(t, 6)
+	tour, err := Greedy(tr, []int{3, 3, 3, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tour.Order) != 2 {
+		t.Errorf("tour visits %d, want 2", len(tour.Order))
+	}
+}
+
+func TestGreedyNearestChoice(t *testing.T) {
+	// On a list from position 4, requests at 2 and 7: nearest is 2.
+	tr := listTree(t, 10)
+	tour, err := Greedy(tr, []int{2, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tour.Order[0] != 2 {
+		t.Errorf("first visit = %d, want 2 (nearest)", tour.Order[0])
+	}
+	if tour.Cost != 2+5 {
+		t.Errorf("cost = %d, want 7", tour.Cost)
+	}
+}
+
+func TestGreedyTieBreaksLow(t *testing.T) {
+	tr := listTree(t, 9)
+	// From 4, requests 2 and 6 are both at distance 2: pick 2.
+	tour, err := Greedy(tr, []int{2, 6}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tour.Order[0] != 2 {
+		t.Errorf("tie broken toward %d, want 2", tour.Order[0])
+	}
+}
+
+func TestSteinerEdges(t *testing.T) {
+	tr := tree.Perfect(2, 4)
+	// Requests at two sibling leaves under node 3: subtree edges 3-7, 3-8
+	// plus the path root-1-3 = 4 edges from the root.
+	if got := SteinerEdges(tr, []int{7, 8}, 0); got != 4 {
+		t.Errorf("Steiner edges = %d, want 4", got)
+	}
+	// Start not at root: from leaf 7 to leaf 8 the Steiner subtree is the
+	// path 7-3-8.
+	if got := SteinerEdges(tr, []int{8}, 7); got != 2 {
+		t.Errorf("Steiner edges = %d, want 2", got)
+	}
+	// Single vertex, start == request: no edges.
+	if got := SteinerEdges(tr, []int{5}, 5); got != 0 {
+		t.Errorf("Steiner edges = %d, want 0", got)
+	}
+}
+
+func TestGreedySandwichedBySteiner(t *testing.T) {
+	// Steiner ≤ greedy ≤ 2·Steiner·(1+log n) is loose; the sharp generic
+	// facts are: greedy ≥ Steiner (must cross every Steiner edge) and
+	// greedy ≥ optimal. Check greedy ≥ Steiner on random instances.
+	rng := rand.New(rand.NewSource(5))
+	tr := tree.Perfect(3, 4)
+	for trial := 0; trial < 50; trial++ {
+		var reqs []int
+		for v := 0; v < tr.N(); v++ {
+			if rng.Intn(3) == 0 {
+				reqs = append(reqs, v)
+			}
+		}
+		tour, err := Greedy(tr, reqs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := SteinerEdges(tr, reqs, 0); tour.Cost < st {
+			t.Errorf("greedy %d below Steiner %d", tour.Cost, st)
+		}
+	}
+}
+
+func TestGreedyMatchesBruteForceSmall(t *testing.T) {
+	// Nearest neighbour is not optimal, but must never beat the optimum
+	// and must stay within the Rosenkrantz–Stearns–Lewis log factor.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.Intn(8)
+		parent := make([]int, n)
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		tr := tree.MustFromParents(0, parent)
+		k := 2 + rng.Intn(5)
+		reqs := rng.Perm(n)[:k]
+		tour, err := Greedy(tr, reqs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := BruteForceOptimal(tr, reqs, 0)
+		if tour.Cost < opt {
+			t.Errorf("greedy %d beat optimum %d", tour.Cost, opt)
+		}
+		// Rosenkrantz–Stearns–Lewis: nearest neighbour is a log k
+		// approximation; with k ≤ 6 a factor 4 is comfortably safe.
+		if opt > 0 && tour.Cost > 4*opt {
+			t.Errorf("greedy %d far above optimum %d", tour.Cost, opt)
+		}
+	}
+}
+
+func TestLemma43ListBound(t *testing.T) {
+	// The headline of Lemma 4.3: any nearest-neighbour tour on a list of
+	// n vertices costs at most 3n, for any request set and start.
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 16, 64, 256} {
+		tr := listTree(t, n)
+		for trial := 0; trial < 20; trial++ {
+			var reqs []int
+			for v := 0; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					reqs = append(reqs, v)
+				}
+			}
+			start := rng.Intn(n)
+			tour, err := Greedy(tr, reqs, start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tour.Cost > bounds.QueuingUpperBoundList(n) {
+				t.Errorf("n=%d: tour cost %d exceeds 3n=%d", n, tour.Cost, 3*n)
+			}
+		}
+	}
+}
+
+func TestLemma44RunInequality(t *testing.T) {
+	// Verify the Fibonacci-style run growth on nearest-neighbour tours
+	// over lists (the content of Lemma 4.4 / Fig. 2).
+	rng := rand.New(rand.NewSource(17))
+	n := 128
+	tr := listTree(t, n)
+	for trial := 0; trial < 50; trial++ {
+		var reqs []int
+		for v := 0; v < n; v++ {
+			if rng.Intn(4) == 0 {
+				reqs = append(reqs, v)
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		start := rng.Intn(n)
+		tour, err := Greedy(tr, reqs, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// On the identity-ordered list tree, vertex id == list position.
+		rd := DecomposeListTour(tour.Order, start)
+		if err := rd.CheckLemma44(); err != nil {
+			t.Errorf("trial %d: %v (order %v from %d)", trial, err, tour.Order, start)
+		}
+	}
+}
+
+func TestDecomposeListTour(t *testing.T) {
+	rd := DecomposeListTour([]int{5, 6, 7, 2, 1, 9}, 5)
+	if len(rd.Runs) != 3 {
+		t.Fatalf("runs = %v, want 3 runs", rd.Runs)
+	}
+	// Runs: [5 6 7], [2 1], [9]; lasts: 7, 1, 9; x = |7-5|, |1-7|, |9-1|.
+	wantX := []int{2, 6, 8}
+	for i, w := range wantX {
+		if rd.X[i] != w {
+			t.Errorf("x[%d] = %d, want %d", i, rd.X[i], w)
+		}
+	}
+	if rd.XSum() != 16 {
+		t.Errorf("XSum = %d, want 16", rd.XSum())
+	}
+	// Empty tour.
+	if rd := DecomposeListTour(nil, 0); len(rd.Runs) != 0 || rd.XSum() != 0 {
+		t.Error("empty decomposition not empty")
+	}
+}
+
+func TestTheorem47PerfectBinaryLinear(t *testing.T) {
+	// Theorem 4.7: nearest-neighbour tours on perfect binary trees cost
+	// O(n); the explicit constant from the proof is 2d(d+1) + 8n.
+	rng := rand.New(rand.NewSource(23))
+	for _, levels := range []int{3, 5, 7, 9} {
+		tr := tree.Perfect(2, levels)
+		n, d := tr.N(), tr.Height()
+		for trial := 0; trial < 10; trial++ {
+			var reqs []int
+			for v := 0; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					reqs = append(reqs, v)
+				}
+			}
+			tour, err := Greedy(tr, reqs, tr.Root())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if limit := bounds.QueuingUpperBoundPerfectBinary(n, d); tour.Cost > limit {
+				t.Errorf("levels=%d: tour %d exceeds bound %d", levels, tour.Cost, limit)
+			}
+			if err := CheckLemma49(tr, tour); err != nil {
+				t.Errorf("levels=%d: %v", levels, err)
+			}
+		}
+	}
+}
+
+func TestCheckLemma49RequiresRootStart(t *testing.T) {
+	tr := tree.Perfect(2, 3)
+	tour, err := Greedy(tr, []int{4, 5}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLemma49(tr, tour); err == nil {
+		t.Error("non-root start accepted")
+	}
+}
+
+func TestDepthCosts(t *testing.T) {
+	tr := tree.Perfect(2, 3) // 7 vertices, height 2
+	tour, err := Greedy(tr, []int{3, 4, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := DepthCosts(tr, tour)
+	if len(costs) != 3 {
+		t.Fatalf("depth cost slice length %d, want 3", len(costs))
+	}
+	total := 0
+	for _, c := range costs {
+		total += c
+	}
+	// Sum of per-vertex successor distances equals tour cost minus the
+	// initial leg (the first leg has no predecessor vertex paying it).
+	if total != tour.Cost-tour.Legs[0] {
+		t.Errorf("depth costs sum %d, want %d", total, tour.Cost-tour.Legs[0])
+	}
+}
+
+func TestGreedyPropertyTourLegal(t *testing.T) {
+	// Property: on random trees and request sets, Greedy produces a tour
+	// that Verify accepts and whose cost ≥ Steiner bound.
+	f := func(seed int64, reqMask uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(20)
+		parent := make([]int, n)
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		tr := tree.MustFromParents(0, parent)
+		var reqs []int
+		for v := 0; v < n; v++ {
+			if reqMask&(1<<(uint(v)%16)) != 0 && rng.Intn(2) == 0 {
+				reqs = append(reqs, v)
+			}
+		}
+		start := rng.Intn(n)
+		tour, err := Greedy(tr, reqs, start)
+		if err != nil {
+			return false
+		}
+		if Verify(tr, reqs, tour) != nil {
+			return false
+		}
+		return tour.Cost >= SteinerEdges(tr, reqs, start) || len(reqs) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

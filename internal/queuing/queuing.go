@@ -1,0 +1,169 @@
+// Package queuing provides distributed queuing baselines other than the
+// arrow protocol (which lives in package arrow): a central queue server
+// that routes every request to a hub over the spanning tree and returns the
+// identity of the predecessor operation.
+//
+// Comparing the central queue with the arrow protocol isolates where
+// arrow's advantage comes from: both solve queuing, but the central server
+// pays routing to a fixed hub plus its serialization, while arrow's path
+// reversal lets concurrent requests find their predecessors near where they
+// were issued.
+package queuing
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// Message kinds.
+const (
+	kindRequest = iota + 1 // A = origin
+	kindGrant              // A = origin, B = predecessor
+)
+
+// Head is the pseudo-identifier reported to the first queued operation.
+const Head = -1
+
+// None marks a node without a completed operation.
+const None = -2
+
+// Central is the hub-based queuing protocol: the root of the spanning tree
+// remembers the last enqueued operation and serves requests in arrival
+// order.
+type Central struct {
+	tree     *tree.Tree
+	router   *tree.Router
+	requests []bool
+
+	last  int
+	pred  []int
+	delay []int
+}
+
+// NewCentral prepares a central-queue run on spanning tree t.
+func NewCentral(t *tree.Tree, requests []bool) (*Central, error) {
+	if len(requests) != t.N() {
+		return nil, fmt.Errorf("queuing: request vector has %d entries, want %d", len(requests), t.N())
+	}
+	c := &Central{
+		tree:     t,
+		router:   t.NewRouter(),
+		requests: append([]bool(nil), requests...),
+		last:     Head,
+		pred:     make([]int, t.N()),
+		delay:    make([]int, t.N()),
+	}
+	for i := range c.pred {
+		c.pred[i] = None
+		c.delay[i] = -1
+	}
+	return c, nil
+}
+
+// Start issues node's queuing operation at time zero.
+func (c *Central) Start(env *sim.Env, node int) {
+	if !c.requests[node] {
+		return
+	}
+	root := c.tree.Root()
+	if node == root {
+		c.pred[node] = c.last
+		c.last = node
+		c.delay[node] = 0
+		return
+	}
+	env.Send(node, c.router.NextHop(node, root), sim.Message{Kind: kindRequest, A: node})
+}
+
+// Deliver routes requests to the hub and grants back.
+func (c *Central) Deliver(env *sim.Env, node int, m sim.Message) {
+	root := c.tree.Root()
+	switch m.Kind {
+	case kindRequest:
+		if node != root {
+			env.Send(node, c.router.NextHop(node, root), m)
+			return
+		}
+		pred := c.last
+		c.last = m.A
+		env.Send(node, c.router.NextHop(node, m.A), sim.Message{Kind: kindGrant, A: m.A, B: pred})
+	case kindGrant:
+		if node != m.A {
+			env.Send(node, c.router.NextHop(node, m.A), m)
+			return
+		}
+		c.pred[node] = m.B
+		c.delay[node] = env.Round()
+	default:
+		env.Fail(fmt.Errorf("queuing: unexpected kind %d", m.Kind))
+	}
+}
+
+// Pred returns the predecessor of v's operation (Head for the first), or
+// None.
+func (c *Central) Pred(v int) int { return c.pred[v] }
+
+// Delay returns the completion round of v's operation, or -1.
+func (c *Central) Delay(v int) int { return c.delay[v] }
+
+// Requests reports the configured request vector.
+func (c *Central) Requests() []bool { return c.requests }
+
+// TotalDelay sums the delays of all requests.
+func (c *Central) TotalDelay() int {
+	total := 0
+	for v, b := range c.requests {
+		if b {
+			total += c.delay[v]
+		}
+	}
+	return total
+}
+
+// VerifyOrder checks that the predecessor pointers form one total order.
+func (c *Central) VerifyOrder() error {
+	succ := make(map[int]int)
+	count := 0
+	for v, b := range c.requests {
+		if !b {
+			continue
+		}
+		count++
+		p := c.pred[v]
+		if p == None {
+			return fmt.Errorf("queuing: operation %d incomplete", v)
+		}
+		if _, dup := succ[p]; dup {
+			return fmt.Errorf("queuing: two operations claim predecessor %d", p)
+		}
+		succ[p] = v
+	}
+	seen := 0
+	for cur, ok := succ[Head]; ok; cur, ok = succ[cur] {
+		seen++
+	}
+	if seen != count {
+		return fmt.Errorf("queuing: chain covers %d of %d operations", seen, count)
+	}
+	return nil
+}
+
+// Run executes the central queue on graph g and verifies the total order.
+func Run(g *graph.Graph, t *tree.Tree, requests []bool, capacity int) (*Central, sim.Stats, error) {
+	c, err := NewCentral(t, requests)
+	if err != nil {
+		return nil, sim.Stats{}, err
+	}
+	nw := sim.New(sim.Config{Graph: g, Capacity: capacity}, c)
+	stats, err := nw.Run()
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := c.VerifyOrder(); err != nil {
+		return nil, stats, err
+	}
+	return c, stats, nil
+}

@@ -1,0 +1,101 @@
+package queuing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+func reqAll(n int) []bool {
+	r := make([]bool, n)
+	for i := range r {
+		r[i] = true
+	}
+	return r
+}
+
+func TestCentralQueueOrder(t *testing.T) {
+	n := 8
+	g := graph.Star(n)
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, stats, err := Run(g, tr, reqAll(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Pred(0) != Head {
+		t.Errorf("hub pred = %d, want Head", c.Pred(0))
+	}
+	if stats.MessagesSent == 0 {
+		t.Error("no messages")
+	}
+	if c.TotalDelay() <= 0 {
+		t.Error("no delay")
+	}
+}
+
+func TestCentralQueueValidation(t *testing.T) {
+	g := graph.Path(4)
+	order := []int{0, 1, 2, 3}
+	tr, err := tree.PathTree(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCentral(tr, make([]bool, 3)); err == nil {
+		t.Error("short request vector accepted")
+	}
+	// No requests: empty order is valid.
+	c, _, err := Run(g, tr, make([]bool, 4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalDelay() != 0 {
+		t.Error("phantom delay")
+	}
+}
+
+func TestCentralQueuePropertyOrderValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		b := graph.NewBuilder("rt", n)
+		parent := make([]int, n)
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+			b.MustAddEdge(v, parent[v])
+		}
+		g := b.Build()
+		tr := tree.MustFromParents(0, parent)
+		req := make([]bool, n)
+		for i := range req {
+			req[i] = rng.Intn(2) == 0
+		}
+		_, _, err := Run(g, tr, req, 1)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentralQueueStarQuadratic(t *testing.T) {
+	n := 33
+	g := graph.Star(n)
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := Run(g, tr, reqAll(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := n - 1
+	if c.TotalDelay() < k*k/2 {
+		t.Errorf("star queue total = %d, want ≥ %d (serialization)", c.TotalDelay(), k*k/2)
+	}
+}

@@ -1,0 +1,68 @@
+package raymond
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+func TestRaymondUnderJitter(t *testing.T) {
+	// Mutual exclusion and completeness must survive asynchronous links.
+	g := graph.PerfectMAryTree(2, 5)
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	var reqs []Request
+	for k := 0; k < 15; k++ {
+		reqs = append(reqs, Request{Node: rng.Intn(g.N()), Time: rng.Intn(30)})
+	}
+	p, err := New(tr, 0, 2, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Graph: g, Delay: sim.JitterDelay{Seed: 12, Max: 4}}
+	if _, err := sim.New(cfg, p).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRaymondHotSpotIsOnTokenPath(t *testing.T) {
+	// With all requests at one leaf and the token at the root, the
+	// traffic concentrates on the root–leaf path.
+	g := graph.Path(8)
+	order := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	tr, err := tree.PathTree(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{{Node: 7, Time: 0}, {Node: 7, Time: 1}, {Node: 7, Time: 2}}
+	p, err := New(tr, 0, 1, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Graph: g, TrackPerNode: true}
+	stats, err := sim.New(cfg, p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Raymond sends exactly one REQUEST toward the token for the three
+	// queued ops at node 7 (asked-flag suppression) until the token
+	// moves; the token then travels once and serves all three locally.
+	if stats.MessagesSent > 20 {
+		t.Errorf("messages = %d; asked-flag suppression seems broken", stats.MessagesSent)
+	}
+	if p.Acquired(2) <= p.Acquired(1) || p.Acquired(1) <= p.Acquired(0) {
+		t.Error("local FIFO broken")
+	}
+}

@@ -1,0 +1,128 @@
+package shm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DiffractingCounter is a diffracting tree (Shavit & Zemach): a binary tree
+// of balancers where concurrent tokens meeting at a node "diffract" — one
+// goes left, one right — without touching the node's toggle bit, and only
+// unpaired tokens serialize on the toggle. Tokens exit at one of L leaves;
+// leaf i hands out counts i + L·k + 1 via a per-leaf counter.
+//
+// The prism here is a single rendezvous slot guarded by a small mutex: a
+// waiting token parks its channel in the slot, a partner commits to it
+// under the lock and hands it a direction. That keeps the classic
+// structure (pairs bypass the toggle) with simple, provable correctness;
+// production diffracting trees use lock-free multi-slot prisms.
+type DiffractingCounter struct {
+	leaves []atomic.Int64
+	nodes  []diffNode // heap indexing: node 1 is the root
+	rank   []int      // leaf position → output rank (bit-reversed index)
+	width  int
+	spin   int
+}
+
+type diffNode struct {
+	pmu     sync.Mutex
+	waiting chan int // parked token's direction channel, or nil
+	tmu     sync.Mutex
+	toggle  bool
+}
+
+// NewDiffractingCounter builds a diffracting tree with the given number of
+// leaves (a power of two ≥ 1). spin controls how long a token waits for a
+// diffraction partner before falling back to the toggle (0 uses a default).
+func NewDiffractingCounter(leaves, spin int) (*DiffractingCounter, error) {
+	if leaves < 1 || leaves&(leaves-1) != 0 {
+		return nil, fmt.Errorf("shm: diffracting tree needs a power-of-two leaf count, got %d", leaves)
+	}
+	if spin <= 0 {
+		spin = 16
+	}
+	d := &DiffractingCounter{
+		leaves: make([]atomic.Int64, leaves),
+		nodes:  make([]diffNode, 2*leaves), // 1..leaves-1 used
+		rank:   make([]int, leaves),
+		width:  leaves,
+		spin:   spin,
+	}
+	// A tree of alternating balancers delivers the k-th token to the leaf
+	// whose root-to-leaf direction bits, read MSB-first, are the binary
+	// digits of k LSB-first — i.e. leaf positions rank in bit-reversed
+	// order. Leaf p therefore hands out counts rev(p) + L·k + 1.
+	bits := 0
+	for p := 1; p < leaves; p <<= 1 {
+		bits++
+	}
+	for p := 0; p < leaves; p++ {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if p&(1<<uint(b)) != 0 {
+				r |= 1 << uint(bits-1-b)
+			}
+		}
+		d.rank[p] = r
+	}
+	return d, nil
+}
+
+// Inc implements Counter.
+func (d *DiffractingCounter) Inc() int64 {
+	node := 1
+	for node < d.width {
+		node = 2*node + d.traverse(&d.nodes[node])
+	}
+	leaf := node - d.width
+	k := d.leaves[leaf].Add(1) - 1
+	return int64(d.rank[leaf]) + int64(d.width)*k + 1
+}
+
+// traverse returns the direction (0 = left, 1 = right) the calling token
+// takes at nd, by diffraction when a partner is available and by the
+// toggle otherwise.
+func (d *DiffractingCounter) traverse(nd *diffNode) int {
+	nd.pmu.Lock()
+	if w := nd.waiting; w != nil {
+		// Commit to the parked partner: it goes left, we go right.
+		nd.waiting = nil
+		nd.pmu.Unlock()
+		w <- 0
+		return 1
+	}
+	me := make(chan int, 1)
+	nd.waiting = me
+	nd.pmu.Unlock()
+
+	for i := 0; i < d.spin; i++ {
+		select {
+		case dir := <-me:
+			return dir
+		default:
+			runtime.Gosched()
+		}
+	}
+	nd.pmu.Lock()
+	if nd.waiting == me {
+		// Nobody committed: withdraw and use the toggle.
+		nd.waiting = nil
+		nd.pmu.Unlock()
+		nd.tmu.Lock()
+		t := nd.toggle
+		nd.toggle = !t
+		nd.tmu.Unlock()
+		if t {
+			return 1
+		}
+		return 0
+	}
+	// A partner committed to us between the spin and the lock.
+	nd.pmu.Unlock()
+	return <-me
+}
+
+// Width reports the number of leaves.
+func (d *DiffractingCounter) Width() int { return d.width }

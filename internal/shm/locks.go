@@ -1,0 +1,92 @@
+package shm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// The queue locks below are the practical payoff of cheap queuing: a single
+// atomic swap appends a thread to a wait queue and tells it (implicitly or
+// explicitly) who its predecessor is — the exact structure of distributed
+// queuing, used here for mutual exclusion with local spinning.
+
+// CLHLock is the Craig / Landin–Hagersten queue lock. Lock returns a handle
+// that must be passed to Unlock. Each thread spins on its predecessor's
+// node only.
+type CLHLock struct {
+	tail atomic.Pointer[clhNode]
+}
+
+type clhNode struct {
+	locked atomic.Bool
+}
+
+// NewCLHLock returns an unlocked CLH lock.
+func NewCLHLock() *CLHLock {
+	l := &CLHLock{}
+	l.tail.Store(&clhNode{}) // initial node: unlocked
+	return l
+}
+
+// Lock acquires the lock and returns the handle to release it with.
+func (l *CLHLock) Lock() *clhNode {
+	me := &clhNode{}
+	me.locked.Store(true)
+	pred := l.tail.Swap(me) // queuing: one swap, predecessor identity out
+	for pred.locked.Load() {
+		runtime.Gosched()
+	}
+	return me
+}
+
+// Unlock releases the lock acquired with handle.
+func (l *CLHLock) Unlock(handle *clhNode) {
+	handle.locked.Store(false)
+}
+
+// MCSLock is the Mellor-Crummey–Scott queue lock: like CLH but with
+// explicit successor pointers, so each thread spins on its own node.
+type MCSLock struct {
+	tail atomic.Pointer[mcsNode]
+}
+
+type mcsNode struct {
+	next   atomic.Pointer[mcsNode]
+	locked atomic.Bool
+}
+
+// NewMCSLock returns an unlocked MCS lock.
+func NewMCSLock() *MCSLock { return &MCSLock{} }
+
+// Lock acquires the lock and returns the handle to release it with.
+func (l *MCSLock) Lock() *mcsNode {
+	me := &mcsNode{}
+	pred := l.tail.Swap(me)
+	if pred != nil {
+		me.locked.Store(true)
+		pred.next.Store(me)
+		for me.locked.Load() {
+			runtime.Gosched()
+		}
+	}
+	return me
+}
+
+// Unlock releases the lock acquired with handle.
+func (l *MCSLock) Unlock(handle *mcsNode) {
+	next := handle.next.Load()
+	if next == nil {
+		// No visible successor: try to close the queue.
+		if l.tail.CompareAndSwap(handle, nil) {
+			return
+		}
+		// A successor is linking itself in; wait for the pointer.
+		for {
+			if next = handle.next.Load(); next != nil {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	next.locked.Store(false)
+}

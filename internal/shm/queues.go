@@ -1,0 +1,108 @@
+package shm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Head is the predecessor reported to the first enqueued operation.
+const Head int64 = -1
+
+// Queuer organizes concurrent operations into a total order, telling each
+// caller the identity of its predecessor — the shared-memory face of
+// distributed queuing. Operation ids must be distinct and non-negative.
+type Queuer interface {
+	// Enqueue appends id to the total order and returns the identity of
+	// its predecessor (Head for the first operation).
+	Enqueue(id int64) int64
+}
+
+// SwapQueue is the whole point of the comparison: one atomic swap yields
+// your predecessor. No retries, no multi-word coordination, no validation —
+// the "distributed swap" primitive behind queue locks (CLH/MCS) and the
+// queuing-based ordered multicast of Herlihy et al.
+type SwapQueue struct {
+	tail atomic.Int64
+}
+
+// NewSwapQueue returns an empty swap-based queue.
+func NewSwapQueue() *SwapQueue {
+	q := &SwapQueue{}
+	q.tail.Store(Head)
+	return q
+}
+
+// Enqueue implements Queuer with a single atomic exchange.
+func (q *SwapQueue) Enqueue(id int64) int64 { return q.tail.Swap(id) }
+
+// MutexQueue is the lock-based baseline for queuing.
+type MutexQueue struct {
+	mu   sync.Mutex
+	tail int64
+}
+
+// NewMutexQueue returns an empty mutex-based queue.
+func NewMutexQueue() *MutexQueue { return &MutexQueue{tail: Head} }
+
+// Enqueue implements Queuer.
+func (q *MutexQueue) Enqueue(id int64) int64 {
+	q.mu.Lock()
+	pred := q.tail
+	q.tail = id
+	q.mu.Unlock()
+	return pred
+}
+
+// ListQueue is a linked variant (the CLH-lock skeleton): each operation
+// installs a node with a swap and reads its predecessor's id from the node
+// it displaced. Functionally equivalent to SwapQueue but exercising the
+// pointer-based structure used by queue locks.
+type ListQueue struct {
+	tail atomic.Pointer[listNode]
+}
+
+type listNode struct {
+	id int64
+}
+
+// NewListQueue returns an empty linked queue.
+func NewListQueue() *ListQueue {
+	q := &ListQueue{}
+	q.tail.Store(&listNode{id: Head})
+	return q
+}
+
+// Enqueue implements Queuer.
+func (q *ListQueue) Enqueue(id int64) int64 {
+	n := &listNode{id: id}
+	prev := q.tail.Swap(n)
+	return prev.id
+}
+
+// ValidateOrder checks the queuing correctness condition on a set of
+// (id, predecessor) pairs: predecessors are distinct, exactly one operation
+// queued behind Head, and the successor chain covers every operation.
+func ValidateOrder(ids, preds []int64) error {
+	if len(ids) != len(preds) {
+		return fmt.Errorf("shm: %d ids but %d preds", len(ids), len(preds))
+	}
+	succ := make(map[int64]int64, len(ids))
+	for i, id := range ids {
+		p := preds[i]
+		if _, dup := succ[p]; dup {
+			return fmt.Errorf("shm: predecessor %d claimed twice", p)
+		}
+		succ[p] = id
+	}
+	count := 0
+	cur, ok := succ[Head]
+	for ok {
+		count++
+		cur, ok = succ[cur]
+	}
+	if count != len(ids) {
+		return fmt.Errorf("shm: chain covers %d of %d operations", count, len(ids))
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package sim
+
+// DelayModel assigns a transmission delay (in rounds, ≥ 1) to each message
+// as it enters a link. Per-link FIFO order is preserved regardless of the
+// delays returned: a message never overtakes an earlier message on the same
+// directed link.
+//
+// The paper's base model is unit delays (Section 2.1); its lower bounds are
+// claimed to carry over to asynchronous executions, and the heterogeneous
+// models here let the experiments check that the measured separation is
+// robust when links are slow or jittery.
+type DelayModel interface {
+	// Delay returns the flight time for a message from u to v; the
+	// sequence number seq identifies the message (deterministic models
+	// must return the same value for the same arguments).
+	Delay(u, v, seq int) int
+}
+
+// UnitDelay is the paper's synchronous model: every link takes one round.
+type UnitDelay struct{}
+
+// Delay implements DelayModel.
+func (UnitDelay) Delay(u, v, seq int) int { return 1 }
+
+// EdgeWeightDelay gives each undirected edge a fixed integer delay.
+type EdgeWeightDelay struct {
+	// Weight returns the delay of edge {u, v}; values < 1 are clamped
+	// to 1.
+	Weight func(u, v int) int
+}
+
+// Delay implements DelayModel.
+func (d EdgeWeightDelay) Delay(u, v, seq int) int {
+	w := d.Weight(u, v)
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// JitterDelay draws an independent delay from {1, …, Max} per message,
+// deterministically from the seed — the standard way to simulate an
+// asynchronous adversary bounded by Max.
+type JitterDelay struct {
+	Seed int64
+	Max  int
+}
+
+// Delay implements DelayModel.
+func (d JitterDelay) Delay(u, v, seq int) int {
+	if d.Max <= 1 {
+		return 1
+	}
+	// A small splitmix-style hash of (u, v, seq, Seed) keeps the model
+	// deterministic without shared state.
+	x := uint64(u)*0x9E3779B97F4A7C15 ^ uint64(v)*0xC2B2AE3D27D4EB4F ^ uint64(seq)*0x165667B19E3779F9 ^ uint64(d.Seed)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return 1 + int(x%uint64(d.Max))
+}

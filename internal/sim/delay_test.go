@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestUnitDelayDefault(t *testing.T) {
+	if (UnitDelay{}).Delay(0, 1, 7) != 1 {
+		t.Error("unit delay not 1")
+	}
+}
+
+func TestEdgeWeightDelayRelay(t *testing.T) {
+	// Path with the middle edge weighted 5: the relay token takes
+	// 1 + 5 + 1 rounds to reach the end of a 4-node path.
+	n := 4
+	p := &relayProto{recvRound: make([]int, n)}
+	weights := EdgeWeightDelay{Weight: func(u, v int) int {
+		if (u == 1 && v == 2) || (u == 2 && v == 1) {
+			return 5
+		}
+		return 1
+	}}
+	nw := New(Config{Graph: graph.Path(n), Delay: weights}, p)
+	if _, err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.recvRound[1] != 1 || p.recvRound[2] != 6 || p.recvRound[3] != 7 {
+		t.Errorf("recv rounds = %v, want [0 1 6 7]", p.recvRound)
+	}
+}
+
+func TestEdgeWeightDelayClampsToOne(t *testing.T) {
+	d := EdgeWeightDelay{Weight: func(u, v int) int { return -3 }}
+	if d.Delay(0, 1, 0) != 1 {
+		t.Error("non-positive weight not clamped")
+	}
+}
+
+func TestJitterDelayDeterministicAndBounded(t *testing.T) {
+	d := JitterDelay{Seed: 42, Max: 7}
+	for seq := 0; seq < 1000; seq++ {
+		v := d.Delay(3, 5, seq)
+		if v < 1 || v > 7 {
+			t.Fatalf("jitter delay %d out of [1,7]", v)
+		}
+		if v != d.Delay(3, 5, seq) {
+			t.Fatal("jitter delay not deterministic")
+		}
+	}
+	// Max ≤ 1 degenerates to unit delay.
+	if (JitterDelay{Seed: 1, Max: 1}).Delay(0, 1, 0) != 1 {
+		t.Error("Max=1 should give unit delay")
+	}
+	// Different seeds give different schedules somewhere.
+	d2 := JitterDelay{Seed: 43, Max: 7}
+	same := true
+	for seq := 0; seq < 100 && same; seq++ {
+		same = d.Delay(0, 1, seq) == d2.Delay(0, 1, seq)
+	}
+	if same {
+		t.Error("different seeds produced identical delays")
+	}
+}
+
+func TestJitterPreservesLinkFIFO(t *testing.T) {
+	// Flood many messages over one link with jitter; the receiver must
+	// see them in send order.
+	type proto struct {
+		silentProto
+		got []int
+	}
+	p := &proto{}
+	pr := protoFuncs{
+		start: func(env *Env, node int) {
+			if node == 0 {
+				for i := 0; i < 50; i++ {
+					env.Send(0, 1, Message{Kind: 1, A: i})
+				}
+			}
+		},
+		deliver: func(env *Env, node int, m Message) {
+			if node == 1 {
+				p.got = append(p.got, m.A)
+			}
+		},
+	}
+	nw := New(Config{Graph: graph.Path(2), Delay: JitterDelay{Seed: 9, Max: 6}}, pr)
+	if _, err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.got) != 50 {
+		t.Fatalf("received %d of 50", len(p.got))
+	}
+	for i, v := range p.got {
+		if v != i {
+			t.Fatalf("FIFO violated: position %d has message %d", i, v)
+		}
+	}
+}
+
+func TestJitterRelayStillCompletes(t *testing.T) {
+	n := 12
+	p := &relayProto{recvRound: make([]int, n)}
+	nw := New(Config{Graph: graph.Path(n), Delay: JitterDelay{Seed: 5, Max: 4}}, p)
+	stats, err := nw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MessagesSent != n-1 {
+		t.Errorf("messages = %d", stats.MessagesSent)
+	}
+	// Arrival times strictly increase along the chain and are at least
+	// the hop count.
+	for v := 1; v < n; v++ {
+		if p.recvRound[v] <= p.recvRound[v-1] {
+			t.Errorf("node %d received at %d, not after node %d (%d)", v, p.recvRound[v], v-1, p.recvRound[v-1])
+		}
+		if p.recvRound[v] < v {
+			t.Errorf("node %d received impossibly early: %d", v, p.recvRound[v])
+		}
+	}
+}
+
+// protoFuncs adapts closures to the Protocol interface for tests.
+type protoFuncs struct {
+	start   func(*Env, int)
+	deliver func(*Env, int, Message)
+}
+
+func (p protoFuncs) Start(env *Env, node int) { p.start(env, node) }
+func (p protoFuncs) Deliver(env *Env, node int, m Message) {
+	p.deliver(env, node, m)
+}

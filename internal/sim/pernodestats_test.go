@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPerNodeStatsHotSpot(t *testing.T) {
+	// Star fan-in: the hub must be the hottest node with n-1 receives.
+	n := 9
+	p := &fanInProto{}
+	nw := New(Config{Graph: graph.Star(n), TrackPerNode: true}, p)
+	stats, err := nw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, recv := stats.HottestNode()
+	if node != 0 || recv != n-1 {
+		t.Errorf("hottest = (%d, %d), want (0, %d)", node, recv, n-1)
+	}
+	for v := 1; v < n; v++ {
+		if stats.Received[v] != 0 {
+			t.Errorf("leaf %d received %d messages", v, stats.Received[v])
+		}
+	}
+}
+
+func TestPerNodeStatsOffByDefault(t *testing.T) {
+	p := &fanInProto{}
+	nw := New(Config{Graph: graph.Star(4)}, p)
+	stats, err := nw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Received != nil {
+		t.Error("per-node stats collected without opt-in")
+	}
+	if node, recv := stats.HottestNode(); node != -1 || recv != 0 {
+		t.Errorf("HottestNode without tracking = (%d, %d)", node, recv)
+	}
+}
+
+func TestPerNodeStatsRelayUniform(t *testing.T) {
+	n := 6
+	p := &relayProto{recvRound: make([]int, n)}
+	nw := New(Config{Graph: graph.Path(n), TrackPerNode: true}, p)
+	stats, err := nw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < n; v++ {
+		if stats.Received[v] != 1 {
+			t.Errorf("node %d received %d, want 1", v, stats.Received[v])
+		}
+	}
+	if stats.Received[0] != 0 {
+		t.Errorf("source received %d, want 0", stats.Received[0])
+	}
+}

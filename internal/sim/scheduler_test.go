@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// timerProto is quiescent from the start but schedules a send at a future
+// round, then extends its own horizon once — exercising the per-round
+// re-polling of Scheduler.PendingUntil.
+type timerProto struct {
+	fireAt    int
+	extended  bool
+	extendTo  int
+	delivered []int
+}
+
+func (p *timerProto) Start(*Env, int) {}
+func (p *timerProto) PendingUntil() int {
+	if p.extended {
+		return p.extendTo
+	}
+	return p.fireAt
+}
+
+func (p *timerProto) Tick(env *Env, node int) {
+	if node != 0 {
+		return
+	}
+	switch env.Round() {
+	case p.fireAt:
+		env.Send(0, 1, Message{Kind: 1})
+		p.extended = true // horizon grows mid-run
+	case p.extendTo:
+		env.Send(0, 1, Message{Kind: 2})
+	}
+}
+
+func (p *timerProto) Deliver(env *Env, node int, m Message) {
+	p.delivered = append(p.delivered, m.Kind)
+}
+
+func TestSchedulerRePolledEachRound(t *testing.T) {
+	p := &timerProto{fireAt: 5, extendTo: 12}
+	nw := New(Config{Graph: graph.Path(2)}, p)
+	stats, err := nw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.delivered) != 2 || p.delivered[0] != 1 || p.delivered[1] != 2 {
+		t.Errorf("delivered = %v, want [1 2]", p.delivered)
+	}
+	if stats.Rounds < 12 {
+		t.Errorf("rounds = %d; the extended horizon was not honored", stats.Rounds)
+	}
+}
+
+// failProto aborts from the handler.
+type failProto struct{}
+
+func (failProto) Start(env *Env, node int) {
+	if node == 0 {
+		env.Send(0, 1, Message{})
+	}
+}
+
+func (failProto) Deliver(env *Env, node int, m Message) {
+	env.Fail(errSentinel)
+}
+
+var errSentinel = &sentinelError{}
+
+type sentinelError struct{}
+
+func (*sentinelError) Error() string { return "sentinel" }
+
+func TestEnvFailAbortsRun(t *testing.T) {
+	nw := New(Config{Graph: graph.Path(2)}, failProto{})
+	if _, err := nw.Run(); err != errSentinel {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}
+
+func TestCapacityTwoHalvesSerialization(t *testing.T) {
+	run := func(capacity int) int {
+		p := &fanInProto{}
+		nw := New(Config{Graph: graph.Star(17), Capacity: capacity}, p)
+		stats, err := nw.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Rounds
+	}
+	r1, r2 := run(1), run(2)
+	if r2 >= r1 {
+		t.Errorf("capacity 2 (%d rounds) not faster than capacity 1 (%d rounds)", r2, r1)
+	}
+	if r2 < r1/3 {
+		t.Errorf("capacity 2 sped up more than 2×: %d vs %d", r2, r1)
+	}
+}

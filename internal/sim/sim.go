@@ -1,0 +1,360 @@
+// Package sim is a deterministic synchronous message-passing network
+// simulator implementing the machine model of Section 2.1 of Busch &
+// Tirthapura: a connected undirected graph of processors with reliable FIFO
+// links of delay one, where each processor sends at most c and receives at
+// most c messages per time step (c = 1 in the paper's base model; c = deg
+// reproduces the "expanded time step" device used for the arrow protocol).
+//
+// Each round proceeds as: deliver messages sent last round into per-node
+// inbox queues; each node receives up to c queued messages (handler runs);
+// optional per-round tick; each node sends up to c queued outgoing messages.
+// A message received in round t can therefore be forwarded in round t, and
+// arrives at the neighbor in round t+1 — information travels at most one hop
+// per round, the speed assumed by the paper's latency lower bounds.
+//
+// Messages that arrive beyond the receive capacity queue up FIFO: the
+// simulator measures contention rather than wishing it away, which is what
+// makes the star-graph experiment come out Θ(n²) by measurement.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Message is a network message. From/To are set by Send; Kind and the
+// integer payload fields are protocol-defined. Using plain ints keeps the
+// hot loop allocation-free.
+type Message struct {
+	From, To int
+	Kind     int
+	A, B, C  int // protocol payload (e.g. operation id, origin, count)
+	sentAt   int // round the message entered the wire
+	seq      int // global sequence number, for deterministic ordering
+}
+
+// SentAt reports the round in which the message was transmitted.
+func (m Message) SentAt() int { return m.sentAt }
+
+// Protocol is the per-node behavior run by the simulator. Start runs once
+// for every node before round 1 (the paper's "time zero", where one-shot
+// operations are issued). Deliver runs when a node receives a message.
+// Handlers communicate only through Env.
+type Protocol interface {
+	Start(env *Env, node int)
+	Deliver(env *Env, node int, m Message)
+}
+
+// Ticker is an optional extension: Tick runs for every node each round after
+// the receive phase, for protocols that act on timeouts rather than messages.
+type Ticker interface {
+	Tick(env *Env, node int)
+}
+
+// Scheduler is an optional extension for long-lived protocols that inject
+// work at future times (usually from Tick): the network keeps running until
+// PendingUntil even if it is momentarily quiescent. PendingUntil is
+// re-polled every round, so protocols with internal timers (token holding,
+// critical sections) can extend it as they run.
+type Scheduler interface {
+	// PendingUntil returns the last round at which the protocol will
+	// spontaneously create work, as currently known.
+	PendingUntil() int
+}
+
+// Config describes a simulation instance.
+type Config struct {
+	Graph    *graph.Graph
+	Capacity int // per-node send and receive budget per round; 0 means 1
+	// Strict makes Run fail if any message ever has to queue behind the
+	// capacity limit — i.e. if the protocol violates the at-most-c model
+	// of Section 2.1 instead of merely being slowed by it.
+	Strict bool
+	// MaxRounds bounds the simulation; 0 means a generous default
+	// proportional to n². Run fails if the bound is hit before quiescence.
+	MaxRounds int
+	// Delay chooses the link-delay model; nil means UnitDelay (the
+	// paper's synchronous model). FIFO order per directed link is
+	// preserved under every model.
+	Delay DelayModel
+	// TrackPerNode enables the per-node received-message counts in Stats.
+	TrackPerNode bool
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	Rounds           int // rounds executed until quiescence
+	MessagesSent     int
+	MaxInboxBacklog  int // worst queue behind the receive capacity
+	MaxOutboxBacklog int // worst queue behind the send capacity
+	// Received counts messages delivered per node — the load profile
+	// that exposes hot spots (e.g. the star hub, a counting root).
+	// Populated only when Config.TrackPerNode is set.
+	Received []int
+}
+
+// HottestNode returns the node with the most received messages and its
+// count, or (-1, 0) when per-node tracking was off or nothing was received.
+func (s Stats) HottestNode() (node, received int) {
+	node = -1
+	for v, r := range s.Received {
+		if r > received {
+			node, received = v, r
+		}
+	}
+	return node, received
+}
+
+// Env is the interface handlers use to interact with the network.
+type Env struct {
+	g        *graph.Graph
+	capacity int
+	strict   bool
+	delay    DelayModel
+	round    int
+	seq      int
+
+	inbox    []msgQueue
+	outbox   []msgQueue
+	arrivals map[int][]Message // arrival round → messages in flight
+	flying   int
+	lastAt   map[int64]int // directed link → last scheduled arrival (FIFO)
+
+	stats Stats
+	err   error
+}
+
+// msgQueue is a FIFO of messages with an amortized O(1) pop.
+type msgQueue struct {
+	buf  []Message
+	head int
+}
+
+func (q *msgQueue) push(m Message) { q.buf = append(q.buf, m) }
+
+func (q *msgQueue) pop() (Message, bool) {
+	if q.head >= len(q.buf) {
+		return Message{}, false
+	}
+	m := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return m, true
+}
+
+func (q *msgQueue) len() int { return len(q.buf) - q.head }
+
+// New prepares a simulation of p on the configured graph.
+func New(cfg Config, p Protocol) *Network {
+	if cfg.Graph == nil {
+		panic("sim: nil graph")
+	}
+	cap := cfg.Capacity
+	if cap <= 0 {
+		cap = 1
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		n := cfg.Graph.N()
+		maxRounds = 100*n*n + 10000
+	}
+	delay := cfg.Delay
+	if delay == nil {
+		delay = UnitDelay{}
+	}
+	n := cfg.Graph.N()
+	nw := &Network{
+		proto:     p,
+		maxRounds: maxRounds,
+		env: Env{
+			g:        cfg.Graph,
+			capacity: cap,
+			strict:   cfg.Strict,
+			delay:    delay,
+			inbox:    make([]msgQueue, n),
+			outbox:   make([]msgQueue, n),
+			arrivals: make(map[int][]Message),
+			lastAt:   make(map[int64]int),
+		},
+	}
+	if cfg.TrackPerNode {
+		nw.env.stats.Received = make([]int, n)
+	}
+	return nw
+}
+
+// Network couples a Protocol with an Env and executes rounds.
+type Network struct {
+	proto     Protocol
+	maxRounds int
+	env       Env
+}
+
+// Env exposes the environment, for protocols that need to inspect state
+// after the run (e.g. to read rounds for delay accounting).
+func (nw *Network) Env() *Env { return &nw.env }
+
+// Run executes the protocol until the network is quiescent (no queued or
+// in-flight messages). It returns the run statistics, or an error if the
+// round bound was hit or a strict-mode violation occurred.
+func (nw *Network) Run() (Stats, error) {
+	e := &nw.env
+	n := e.g.N()
+
+	// Round 0: issue operations, then transmit.
+	for v := 0; v < n; v++ {
+		nw.proto.Start(e, v)
+		if e.err != nil {
+			return e.stats, e.err
+		}
+	}
+	e.sendPhase()
+	if e.err != nil {
+		return e.stats, e.err
+	}
+
+	ticker, hasTick := nw.proto.(Ticker)
+	scheduler, hasSched := nw.proto.(Scheduler)
+	pending := func() bool {
+		return hasSched && e.round < scheduler.PendingUntil()
+	}
+	for !e.quiescent() || pending() {
+		e.round++
+		if e.round > nw.maxRounds {
+			return e.stats, fmt.Errorf("sim: round bound %d exceeded (livelock?)", nw.maxRounds)
+		}
+		e.deliverPhase()
+		// Receive phase: each node handles up to capacity messages.
+		for v := 0; v < n; v++ {
+			for k := 0; k < e.capacity; k++ {
+				m, ok := e.inbox[v].pop()
+				if !ok {
+					break
+				}
+				if e.stats.Received != nil {
+					e.stats.Received[v]++
+				}
+				nw.proto.Deliver(e, v, m)
+				if e.err != nil {
+					return e.stats, e.err
+				}
+			}
+			if backlog := e.inbox[v].len(); backlog > e.stats.MaxInboxBacklog {
+				e.stats.MaxInboxBacklog = backlog
+				if e.strict {
+					e.err = fmt.Errorf("sim: strict violation: node %d inbox backlog %d in round %d", v, backlog, e.round)
+					return e.stats, e.err
+				}
+			}
+		}
+		if hasTick {
+			for v := 0; v < n; v++ {
+				ticker.Tick(e, v)
+				if e.err != nil {
+					return e.stats, e.err
+				}
+			}
+		}
+		e.sendPhase()
+		if e.err != nil {
+			return e.stats, e.err
+		}
+	}
+	e.stats.Rounds = e.round
+	return e.stats, nil
+}
+
+// quiescent reports whether no message is queued or in flight.
+func (e *Env) quiescent() bool {
+	if e.flying > 0 {
+		return false
+	}
+	for i := range e.inbox {
+		if e.inbox[i].len() > 0 || e.outbox[i].len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// deliverPhase moves messages whose flight ends this round into inbox
+// queues, in deterministic (sequence number) order.
+func (e *Env) deliverPhase() {
+	due := e.arrivals[e.round]
+	if len(due) == 0 {
+		return
+	}
+	delete(e.arrivals, e.round)
+	sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
+	for _, m := range due {
+		e.inbox[m.To].push(m)
+	}
+	e.flying -= len(due)
+}
+
+// sendPhase moves up to capacity messages per node from outboxes onto the
+// wire. Arrival rounds come from the delay model, clamped so that FIFO
+// order per directed link is never violated.
+func (e *Env) sendPhase() {
+	n := int64(e.g.N())
+	for v := range e.outbox {
+		for k := 0; k < e.capacity; k++ {
+			m, ok := e.outbox[v].pop()
+			if !ok {
+				break
+			}
+			m.sentAt = e.round
+			at := e.round + e.delay.Delay(m.From, m.To, m.seq)
+			link := int64(m.From)*n + int64(m.To)
+			if prev := e.lastAt[link]; at < prev {
+				at = prev // preserve per-link FIFO
+			}
+			e.lastAt[link] = at
+			e.arrivals[at] = append(e.arrivals[at], m)
+			e.flying++
+			e.stats.MessagesSent++
+		}
+		if backlog := e.outbox[v].len(); backlog > e.stats.MaxOutboxBacklog {
+			e.stats.MaxOutboxBacklog = backlog
+			if e.strict {
+				e.err = fmt.Errorf("sim: strict violation: node %d outbox backlog %d in round %d", v, backlog, e.round)
+			}
+		}
+	}
+}
+
+// Send queues a message from node from to an adjacent node to. It panics if
+// from and to are not neighbors in the communication graph — protocols may
+// only use real links.
+func (e *Env) Send(from, to int, m Message) {
+	if !e.g.HasEdge(from, to) {
+		panic(fmt.Sprintf("sim: send over non-edge (%d,%d)", from, to))
+	}
+	m.From = from
+	m.To = to
+	m.seq = e.seq
+	e.seq++
+	e.outbox[from].push(m)
+}
+
+// Round reports the current round number. Start runs in round 0; the first
+// deliveries happen in round 1.
+func (e *Env) Round() int { return e.round }
+
+// N reports the number of nodes.
+func (e *Env) N() int { return e.g.N() }
+
+// Graph exposes the communication graph.
+func (e *Env) Graph() *graph.Graph { return e.g }
+
+// Capacity reports the per-node per-round send/receive budget.
+func (e *Env) Capacity() int { return e.capacity }
+
+// Fail aborts the simulation with err; for protocols that detect internal
+// inconsistencies.
+func (e *Env) Fail(err error) { e.err = err }

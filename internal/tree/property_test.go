@@ -1,0 +1,100 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLCAIsCommonAncestor(t *testing.T) {
+	tr := randomTree(60, 13)
+	isAncestor := func(a, v int) bool {
+		for x := v; ; x = tr.Parent(x) {
+			if x == a {
+				return true
+			}
+			if x == tr.Root() {
+				return a == tr.Root()
+			}
+		}
+	}
+	f := func(a, b uint8) bool {
+		u, v := int(a)%tr.N(), int(b)%tr.N()
+		l := tr.LCA(u, v)
+		if !isAncestor(l, u) || !isAncestor(l, v) {
+			return false
+		}
+		// Deepest: the parent of l (if l isn't the root) must not be a
+		// deeper common ancestor, and no child of l can be an ancestor
+		// of both unless it is on the path of only one.
+		for _, c := range tr.Children(l) {
+			if isAncestor(c, u) && isAncestor(c, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSOrderCoversAllOnce(t *testing.T) {
+	for _, tr := range []*Tree{Perfect(3, 4), randomTree(77, 3)} {
+		seen := make([]bool, tr.N())
+		for _, v := range tr.BFSOrder() {
+			if seen[v] {
+				t.Fatalf("vertex %d repeated in BFS order", v)
+			}
+			seen[v] = true
+		}
+		for v, s := range seen {
+			if !s {
+				t.Fatalf("vertex %d missing from BFS order", v)
+			}
+		}
+		// Depths are non-decreasing along the order.
+		prev := 0
+		for _, v := range tr.BFSOrder() {
+			if tr.Depth(v) < prev {
+				t.Fatal("BFS order depths decrease")
+			}
+			prev = tr.Depth(v)
+		}
+	}
+}
+
+func TestSubtreeSizesSumAtRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(50)
+		tr := randomTree(n, rng.Int63())
+		sizes := tr.SubtreeSizes()
+		if sizes[tr.Root()] != n {
+			t.Fatalf("root subtree = %d, want %d", sizes[tr.Root()], n)
+		}
+		// Each node's size = 1 + sum of children sizes.
+		for v := 0; v < n; v++ {
+			sum := 1
+			for _, c := range tr.Children(v) {
+				sum += sizes[c]
+			}
+			if sizes[v] != sum {
+				t.Fatalf("size invariant broken at %d", v)
+			}
+		}
+	}
+}
+
+func TestLeavesPlusInternalEqualsN(t *testing.T) {
+	tr := Perfect(3, 4)
+	internal := 0
+	for v := 0; v < tr.N(); v++ {
+		if len(tr.Children(v)) > 0 {
+			internal++
+		}
+	}
+	if len(tr.Leaves())+internal != tr.N() {
+		t.Error("leaves + internal != n")
+	}
+}
