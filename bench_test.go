@@ -1,9 +1,14 @@
 package repro_test
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
+	"repro/countq"
 	"repro/internal/arrow"
 	"repro/internal/core"
 	"repro/internal/counting"
@@ -195,54 +200,25 @@ func BenchmarkBitonicQuiescent(b *testing.B) {
 }
 
 // --- Shared-memory structures under real parallelism (RunParallel). -------
+// The rosters come from the countq registry (populated by importing
+// internal/shm), so every newly registered implementation is benchmarked
+// without touching this file.
 
 func BenchmarkShmCounters(b *testing.B) {
-	b.Run("atomic", func(b *testing.B) {
-		c := shm.NewAtomicCounter()
-		b.RunParallel(func(pb *testing.PB) {
-			for pb.Next() {
-				c.Inc()
+	for _, info := range countq.Counters() {
+		info := info
+		b.Run(info.Name, func(b *testing.B) {
+			c, err := info.New()
+			if err != nil {
+				b.Fatal(err)
 			}
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					c.Inc()
+				}
+			})
 		})
-	})
-	b.Run("mutex", func(b *testing.B) {
-		c := shm.NewMutexCounter()
-		b.RunParallel(func(pb *testing.PB) {
-			for pb.Next() {
-				c.Inc()
-			}
-		})
-	})
-	b.Run("combining", func(b *testing.B) {
-		c := shm.NewCombiningCounter(1024)
-		b.RunParallel(func(pb *testing.PB) {
-			for pb.Next() {
-				c.Inc()
-			}
-		})
-	})
-	b.Run("network8", func(b *testing.B) {
-		c, err := shm.NewNetworkCounter(8)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.RunParallel(func(pb *testing.PB) {
-			for pb.Next() {
-				c.Inc()
-			}
-		})
-	})
-	b.Run("diffracting8", func(b *testing.B) {
-		c, err := shm.NewDiffractingCounter(8, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.RunParallel(func(pb *testing.PB) {
-			for pb.Next() {
-				c.Inc()
-			}
-		})
-	})
+	}
 }
 
 func BenchmarkShmLocks(b *testing.B) {
@@ -267,34 +243,65 @@ func BenchmarkShmLocks(b *testing.B) {
 }
 
 func BenchmarkShmQueuers(b *testing.B) {
-	b.Run("swap", func(b *testing.B) {
-		q := shm.NewSwapQueue()
-		b.RunParallel(func(pb *testing.PB) {
-			id := int64(0)
-			for pb.Next() {
-				q.Enqueue(id)
-				id++
+	for _, info := range countq.Queues() {
+		info := info
+		b.Run(info.Name, func(b *testing.B) {
+			q, err := info.New()
+			if err != nil {
+				b.Fatal(err)
 			}
+			b.RunParallel(func(pb *testing.PB) {
+				id := int64(0)
+				for pb.Next() {
+					q.Enqueue(id)
+					id++
+				}
+			})
 		})
-	})
-	b.Run("list", func(b *testing.B) {
-		q := shm.NewListQueue()
-		b.RunParallel(func(pb *testing.PB) {
-			id := int64(0)
-			for pb.Next() {
-				q.Enqueue(id)
-				id++
-			}
-		})
-	})
-	b.Run("mutex", func(b *testing.B) {
-		q := shm.NewMutexQueue()
-		b.RunParallel(func(pb *testing.PB) {
-			id := int64(0)
-			for pb.Next() {
-				q.Enqueue(id)
-				id++
-			}
-		})
-	})
+	}
+}
+
+// --- Machine-readable perf trajectory. -------------------------------------
+
+// benchJSON, when set, makes TestBenchJSON sweep every registered counter
+// and queuer through the countq workload driver and write the validated
+// measurements as JSON (e.g. BENCH_2026_07.json), so successive PRs can
+// track a perf trajectory without scraping go-bench text output:
+//
+//	go test -run TestBenchJSON -benchjson BENCH_now.json .
+var benchJSON = flag.String("benchjson", "", "write registry-wide driver measurements to this JSON file")
+
+func TestBenchJSON(t *testing.T) {
+	if *benchJSON == "" {
+		t.Skip("no -benchjson output path given")
+	}
+	type sweep struct {
+		GoMaxProcs int              `json:"gomaxprocs"`
+		Ops        int              `json:"ops_per_run"`
+		Results    []*countq.Result `json:"results"`
+	}
+	const ops = 50000
+	out := sweep{GoMaxProcs: runtime.GOMAXPROCS(0), Ops: ops}
+	for _, info := range countq.Counters() {
+		res, err := countq.Run(countq.Workload{Counter: info.Name, Ops: ops, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", info.Name, err)
+		}
+		out.Results = append(out.Results, res)
+	}
+	for _, info := range countq.Queues() {
+		res, err := countq.Run(countq.Workload{Queue: info.Name, Ops: ops, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", info.Name, err)
+		}
+		out.Results = append(out.Results, res)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d measurements to %s", len(out.Results), *benchJSON)
 }

@@ -1,24 +1,35 @@
 // Command countq runs the experiments reproducing Busch & Tirthapura,
-// "Concurrent counting is harder than queuing" (IPDPS 2006 / TCS 2010).
+// "Concurrent counting is harder than queuing" (IPDPS 2006 / TCS 2010),
+// and drives the registered counter/queuer implementations directly.
 //
 // Usage:
 //
-//	countq list                 # list all experiments
+//	countq list                 # list experiments and registered protocols
 //	countq run E1 E6 ...        # run selected experiments
 //	countq run all              # run the full suite
 //	countq compare -topo mesh2d -n 256
+//	countq drive -counter sharded -queue swap -g 8 -ops 100000
+//
+// Experiments and protocols both come from registries (internal/core's
+// spec registry and the public repro/countq registry), so new entries
+// appear here without touching this command.
 //
 // Flags for run: -quick (small sizes), -seed N (workload seed).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
+	"repro/countq"
 	"repro/internal/core"
 	"repro/internal/graph"
+	_ "repro/internal/shm" // register the shared-memory counters and queues
 )
 
 func main() {
@@ -28,15 +39,15 @@ func main() {
 	}
 	switch os.Args[1] {
 	case "list":
-		for _, s := range core.Experiments() {
-			fmt.Printf("%-4s %-70s %s\n", s.ID, s.Title, s.Ref)
-		}
+		listCmd(os.Stdout)
 	case "run":
 		runCmd(os.Args[2:])
 	case "compare":
 		compareCmd(os.Args[2:])
 	case "trace":
 		traceCmd(os.Args[2:])
+	case "drive":
+		driveCmd(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -44,7 +55,90 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: countq {list | run [-quick] [-seed N] <ids...|all> | compare [-topo T] [-n N] | trace [-n N] [-reqs K]}")
+	fmt.Fprintln(os.Stderr, "usage: countq {list | run [-quick] [-seed N] <ids...|all> | compare [-topo T] [-n N] | trace [-n N] [-reqs K] | drive [-counter C] [-queue Q] [-g N] [-ops N] [-dur D] [-mix F] [-arrival A] [-seed N] [-json]}")
+}
+
+// listCmd prints the experiment suite and the protocol registries; every
+// line is generated, never hand-maintained.
+func listCmd(w io.Writer) {
+	fmt.Fprintln(w, "experiments:")
+	for _, s := range core.Experiments() {
+		fmt.Fprintf(w, "  %-4s %-70s %s\n", s.ID, s.Title, s.Ref)
+	}
+	fmt.Fprintln(w, "\ncounters (countq registry):")
+	for _, info := range countq.Counters() {
+		consistency := "quiescent"
+		if info.Linearizable {
+			consistency = "linearizable"
+		}
+		fmt.Fprintf(w, "  %-12s %-13s %s\n", info.Name, consistency, info.Summary)
+	}
+	fmt.Fprintln(w, "\nqueues (countq registry):")
+	for _, info := range countq.Queues() {
+		fmt.Fprintf(w, "  %-12s %-13s %s\n", info.Name, "linearizable", info.Summary)
+	}
+}
+
+// driveCmd runs the mixed counting/queuing workload driver over any
+// registered protocol pair.
+func driveCmd(args []string) {
+	fs := flag.NewFlagSet("drive", flag.ExitOnError)
+	counter := fs.String("counter", "atomic", "registered counter name (empty for a pure queue workload)")
+	queue := fs.String("queue", "swap", "registered queue name (empty for a pure counter workload)")
+	g := fs.Int("g", 0, "goroutines (0 = GOMAXPROCS)")
+	ops := fs.Int("ops", 1<<17, "total operation budget")
+	dur := fs.Duration("dur", 0, "run for a duration instead of an ops budget")
+	mix := fs.Float64("mix", 0.5, "fraction of operations that count (the rest enqueue)")
+	arrival := fs.String("arrival", "closed", "arrival pattern: closed|uniform|bursty")
+	seed := fs.Int64("seed", 1, "workload seed")
+	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	arr, err := countq.ParseArrival(*arrival)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "countq drive:", err)
+		os.Exit(2)
+	}
+	w := countq.Workload{
+		Counter:     *counter,
+		Queue:       *queue,
+		Goroutines:  *g,
+		Ops:         *ops,
+		CounterFrac: *mix,
+		Arrival:     arr,
+		Seed:        *seed,
+	}
+	if *dur > 0 {
+		w.Duration = *dur // replaces the ops budget
+	}
+	if *counter != "" && *queue != "" && *mix == 0 {
+		w.PureQueue = true
+	}
+	res, err := countq.Run(w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "countq drive:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countq drive:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Printf("counter=%s queue=%s arrival=%s goroutines=%d\n", res.Counter, res.Queue, res.Arrival, res.Goroutines)
+	fmt.Printf("ops=%d (count %d, enqueue %d) in %v — %.1f ns/op overall\n",
+		res.Ops, res.CounterOps, res.QueueOps, res.Elapsed.Round(time.Microsecond), res.NsPerOp())
+	if res.CounterOps > 0 {
+		fmt.Printf("counting: %.1f ns/op\n", res.CounterNs)
+	}
+	if res.QueueOps > 0 {
+		fmt.Printf("queuing:  %.1f ns/op\n", res.QueueNs)
+	}
+	fmt.Println("validated: counts distinct and gap-free, predecessors form one total order")
 }
 
 func traceCmd(args []string) {

@@ -1,6 +1,50 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"repro/countq"
+)
+
+// TestListIsRegistryDriven checks that the listing is generated from the
+// two registries: every experiment ID and every registered protocol —
+// including the sharded and funnel counters — appears, with no
+// hand-maintained roster to fall out of date.
+func TestListIsRegistryDriven(t *testing.T) {
+	var b strings.Builder
+	listCmd(&b)
+	out := b.String()
+	for _, want := range []string{"E1", "E11", "E16", "sharded", "funnel", "atomic", "combining", "network", "swap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+	for _, info := range countq.Counters() {
+		if !strings.Contains(out, info.Name) {
+			t.Errorf("registered counter %q not listed", info.Name)
+		}
+	}
+	for _, info := range countq.Queues() {
+		if !strings.Contains(out, info.Name) {
+			t.Errorf("registered queue %q not listed", info.Name)
+		}
+	}
+}
+
+// TestDriveRegistryResolution runs the driver end-to-end over a registered
+// pair, as the drive subcommand does.
+func TestDriveRegistryResolution(t *testing.T) {
+	res, err := countq.Run(countq.Workload{
+		Counter: "sharded", Queue: "swap", Goroutines: 4, Ops: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2000 {
+		t.Errorf("ops = %d, want 2000", res.Ops)
+	}
+}
 
 func TestBuildTopology(t *testing.T) {
 	cases := []struct {

@@ -1,0 +1,116 @@
+// Package countq is the public face of the repository's concurrent
+// counting and queuing structures — the two sides of Busch & Tirthapura,
+// "Concurrent counting is harder than queuing".
+//
+// It defines the Counter and Queuer interfaces, a string-keyed registry of
+// self-registering implementations (the shared-memory structures in
+// internal/shm register themselves on import, in the manner of
+// database/sql drivers), and a configurable mixed-workload driver that
+// runs any registered counter/queuer pair under a chosen operation mix,
+// arrival pattern, goroutine count and ops budget — the paper's
+// counting-versus-queuing contrast as one function call.
+//
+// Quickstart:
+//
+//	import (
+//		"repro/countq"
+//
+//		_ "repro/internal/shm" // register the shared-memory implementations
+//	)
+//
+//	c, err := countq.NewCounter("sharded")
+//	q, err := countq.NewQueue("swap")
+//
+//	res, err := countq.Run(countq.Workload{
+//		Counter:     "sharded",
+//		Queue:       "swap",
+//		Goroutines:  8,
+//		Ops:         100000,
+//		CounterFrac: 0.5,
+//		Arrival:     countq.Bursty,
+//	})
+//
+// Every run is validated: counts must form a gap-free set of distinct
+// values and predecessors must chain into a single total order.
+package countq
+
+import "fmt"
+
+// Counter hands out distinct counts 1, 2, 3, … to concurrent callers.
+type Counter interface {
+	// Inc returns the next count (1-based). Safe for concurrent use.
+	Inc() int64
+}
+
+// Head is the predecessor reported to the first enqueued operation.
+const Head int64 = -1
+
+// Queuer organizes concurrent operations into a total order, telling each
+// caller the identity of its predecessor — the shared-memory face of
+// distributed queuing. Operation ids must be distinct and non-negative.
+type Queuer interface {
+	// Enqueue appends id to the total order and returns the identity of
+	// its predecessor (Head for the first operation).
+	Enqueue(id int64) int64
+}
+
+// Drainer is implemented by counters that lease count ranges to internal
+// shards (e.g. the sharded counter). Drain reclaims every leased-but-unused
+// count, so that the counts handed out so far plus the drained remainder
+// form the gap-free range 1..max. Validation harnesses call it before
+// checking the no-gaps property; callers may also use it as a periodic
+// reconciliation point.
+type Drainer interface {
+	Drain() []int64
+}
+
+// ValidateCounts checks that values is a permutation of 1..len(values) —
+// the counting correctness condition (distinct counts, no gaps).
+func ValidateCounts(values []int64) error {
+	n := len(values)
+	seen := make([]bool, n+1)
+	for _, v := range values {
+		if v < 1 || v > int64(n) {
+			return fmt.Errorf("countq: count %d outside 1..%d", v, n)
+		}
+		if seen[v] {
+			return fmt.Errorf("countq: count %d duplicated", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// ValidateOrder checks the queuing correctness condition on a set of
+// (id, predecessor) pairs: predecessors are distinct, exactly one operation
+// queued behind Head, and the successor chain covers every operation.
+func ValidateOrder(ids, preds []int64) error {
+	if len(ids) != len(preds) {
+		return fmt.Errorf("countq: %d ids but %d preds", len(ids), len(preds))
+	}
+	idSet := make(map[int64]bool, len(ids))
+	succ := make(map[int64]int64, len(ids))
+	for i, id := range ids {
+		// Distinct ids also guarantee the chain walk below terminates:
+		// with one (id, pred) pair per id, no id can be reached twice.
+		if idSet[id] {
+			return fmt.Errorf("countq: operation id %d duplicated", id)
+		}
+		idSet[id] = true
+		p := preds[i]
+		if _, dup := succ[p]; dup {
+			return fmt.Errorf("countq: predecessor %d claimed twice", p)
+		}
+		succ[p] = id
+	}
+	count := 0
+	cur, ok := succ[Head]
+	for ok {
+		count++
+		cur, ok = succ[cur]
+	}
+	if count != len(ids) {
+		return fmt.Errorf("countq: chain covers %d of %d operations", count, len(ids))
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package countq
+
+import "testing"
+
+func TestValidateCounts(t *testing.T) {
+	if err := ValidateCounts([]int64{3, 1, 2}); err != nil {
+		t.Errorf("valid permutation rejected: %v", err)
+	}
+	if err := ValidateCounts([]int64{1, 2, 2}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := ValidateCounts([]int64{1, 2, 4}); err == nil {
+		t.Error("gap accepted")
+	}
+}
+
+func TestValidateOrder(t *testing.T) {
+	if err := ValidateOrder([]int64{0, 1, 2}, []int64{Head, 0, 1}); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+	if err := ValidateOrder([]int64{0, 1}, []int64{Head, Head}); err == nil {
+		t.Error("double head accepted")
+	}
+	if err := ValidateOrder([]int64{0, 1}, []int64{Head}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestValidateOrderDuplicateIDs: duplicate operation ids must be reported
+// as an error — in particular the self-cycle {7,7}/{Head,7}, which once
+// made the chain walk spin forever.
+func TestValidateOrderDuplicateIDs(t *testing.T) {
+	if err := ValidateOrder([]int64{7, 7}, []int64{Head, 7}); err == nil {
+		t.Error("duplicated id forming a self-cycle accepted")
+	}
+	if err := ValidateOrder([]int64{3, 3}, []int64{Head, 3}); err == nil {
+		t.Error("duplicated id accepted")
+	}
+}

@@ -1,0 +1,261 @@
+package countq
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Arrival selects how operations arrive at the shared structure.
+type Arrival int
+
+const (
+	// Closed is a closed loop: every goroutine issues its next operation
+	// the moment the previous one returns — maximum sustained contention.
+	Closed Arrival = iota
+	// Uniform spaces operations with small random think times, modelling
+	// independent clients arriving roughly uniformly.
+	Uniform
+	// Bursty alternates dense bursts of back-to-back operations with
+	// longer pauses, modelling synchronized arrival spikes.
+	Bursty
+)
+
+// String returns the arrival pattern's registry name.
+func (a Arrival) String() string {
+	switch a {
+	case Closed:
+		return "closed"
+	case Uniform:
+		return "uniform"
+	case Bursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("arrival(%d)", int(a))
+	}
+}
+
+// ParseArrival maps a name to an Arrival pattern.
+func ParseArrival(name string) (Arrival, error) {
+	switch name {
+	case "", "closed":
+		return Closed, nil
+	case "uniform":
+		return Uniform, nil
+	case "bursty":
+		return Bursty, nil
+	default:
+		return 0, fmt.Errorf("countq: unknown arrival pattern %q (closed|uniform|bursty)", name)
+	}
+}
+
+// Workload configures one mixed counting/queuing run.
+type Workload struct {
+	// Counter and Queue name registered implementations. At least one
+	// must be set; leaving one empty runs a pure workload of the other
+	// kind.
+	Counter string
+	Queue   string
+	// Goroutines is the number of concurrent workers (default
+	// GOMAXPROCS).
+	Goroutines int
+	// Ops is the total operation budget across all goroutines (default
+	// 65536 when Duration is also zero).
+	Ops int
+	// Duration, when positive, replaces Ops: goroutines issue operations
+	// until the deadline passes.
+	Duration time.Duration
+	// CounterFrac is the fraction of operations sent to the counter
+	// (the rest enqueue). It is forced to 1 when Queue is empty and 0
+	// when Counter is empty; with both set, zero means an even 50/50
+	// split unless PureQueue is set.
+	CounterFrac float64
+	// PureQueue forces CounterFrac = 0 even though both names are set.
+	PureQueue bool
+	// Arrival selects the arrival pattern (default Closed).
+	Arrival Arrival
+	// Seed drives the per-goroutine mix and arrival randomness; runs
+	// with the same seed and goroutine count draw identical op
+	// sequences.
+	Seed int64
+}
+
+// Result reports one driver run. Counts and predecessor chains have
+// already been validated when Run returns it.
+type Result struct {
+	Counter    string        `json:"counter,omitempty"`
+	Queue      string        `json:"queue,omitempty"`
+	Arrival    string        `json:"arrival"`
+	Goroutines int           `json:"goroutines"`
+	Ops        int           `json:"ops"`
+	CounterOps int           `json:"counter_ops"`
+	QueueOps   int           `json:"queue_ops"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	CounterNs  float64       `json:"counter_ns_per_op"`
+	QueueNs    float64       `json:"queue_ns_per_op"`
+}
+
+// NsPerOp reports average wall nanoseconds per operation.
+func (r *Result) NsPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Elapsed.Nanoseconds()) / float64(r.Ops)
+}
+
+// Run executes the workload against freshly constructed instances of the
+// named implementations, validates the outcome (counts distinct and
+// gap-free after draining leased remainders, predecessors a single total
+// order), and reports throughput per kind.
+func Run(w Workload) (*Result, error) {
+	if w.Counter == "" && w.Queue == "" {
+		return nil, fmt.Errorf("countq: workload names neither a counter nor a queue")
+	}
+	var (
+		c   Counter
+		q   Queuer
+		err error
+	)
+	if w.Counter != "" {
+		if c, err = NewCounter(w.Counter); err != nil {
+			return nil, err
+		}
+	}
+	if w.Queue != "" {
+		if q, err = NewQueue(w.Queue); err != nil {
+			return nil, err
+		}
+	}
+	frac := w.CounterFrac
+	switch {
+	case q == nil:
+		frac = 1
+	case c == nil || w.PureQueue:
+		frac = 0
+	case frac == 0:
+		frac = 0.5
+	}
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("countq: counter fraction %v outside [0,1]", frac)
+	}
+	goroutines := w.Goroutines
+	if goroutines <= 0 {
+		goroutines = runtime.GOMAXPROCS(0)
+	}
+	ops := w.Ops
+	if w.Duration > 0 {
+		ops = 0 // a positive Duration replaces the ops budget
+	} else if ops <= 0 {
+		ops = 1 << 16
+	}
+
+	type lane struct {
+		counts     []int64
+		ids, preds []int64
+		counterNs  int64
+		queueNs    int64
+	}
+	lanes := make([]lane, goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(w.Duration)
+	for gi := 0; gi < goroutines; gi++ {
+		budget := 0
+		if ops > 0 {
+			budget = ops / goroutines
+			if gi < ops%goroutines {
+				budget++
+			}
+		}
+		wg.Add(1)
+		go func(gi, budget int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(w.Seed + int64(gi)*7919))
+			ln := &lanes[gi]
+			burst := 0
+			for i := 0; ; i++ {
+				if budget > 0 {
+					if i >= budget {
+						break
+					}
+				} else if i%64 == 0 && !time.Now().Before(deadline) {
+					break
+				}
+				pause(w.Arrival, rng, &burst)
+				if frac == 1 || (frac > 0 && rng.Float64() < frac) {
+					t0 := time.Now()
+					v := c.Inc()
+					ln.counterNs += time.Since(t0).Nanoseconds()
+					ln.counts = append(ln.counts, v)
+				} else {
+					id := int64(gi)<<32 | int64(i)
+					t0 := time.Now()
+					p := q.Enqueue(id)
+					ln.queueNs += time.Since(t0).Nanoseconds()
+					ln.ids = append(ln.ids, id)
+					ln.preds = append(ln.preds, p)
+				}
+			}
+		}(gi, budget)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var counts, ids, preds []int64
+	var counterNs, queueNs int64
+	for gi := range lanes {
+		counts = append(counts, lanes[gi].counts...)
+		ids = append(ids, lanes[gi].ids...)
+		preds = append(preds, lanes[gi].preds...)
+		counterNs += lanes[gi].counterNs
+		queueNs += lanes[gi].queueNs
+	}
+	counterOps, queueOps := len(counts), len(ids)
+	if d, ok := c.(Drainer); ok {
+		counts = append(counts, d.Drain()...)
+	}
+	if err := ValidateCounts(counts); err != nil {
+		return nil, fmt.Errorf("countq: %s failed validation: %w", w.Counter, err)
+	}
+	if err := ValidateOrder(ids, preds); err != nil {
+		return nil, fmt.Errorf("countq: %s failed validation: %w", w.Queue, err)
+	}
+
+	res := &Result{
+		Counter:    w.Counter,
+		Queue:      w.Queue,
+		Arrival:    w.Arrival.String(),
+		Goroutines: goroutines,
+		Ops:        counterOps + queueOps,
+		CounterOps: counterOps,
+		QueueOps:   queueOps,
+		Elapsed:    elapsed,
+	}
+	if counterOps > 0 {
+		res.CounterNs = float64(counterNs) / float64(counterOps)
+	}
+	if queueOps > 0 {
+		res.QueueNs = float64(queueNs) / float64(queueOps)
+	}
+	return res, nil
+}
+
+// pause realizes the arrival pattern's think time between operations.
+func pause(a Arrival, rng *rand.Rand, burst *int) {
+	switch a {
+	case Uniform:
+		for n := rng.Intn(8); n > 0; n-- {
+			runtime.Gosched()
+		}
+	case Bursty:
+		if *burst <= 0 {
+			*burst = 1 + rng.Intn(32)
+			for n := 16 + rng.Intn(64); n > 0; n-- {
+				runtime.Gosched()
+			}
+		}
+		*burst--
+	}
+}

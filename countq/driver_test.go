@@ -1,0 +1,115 @@
+package countq
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDriverMixedWorkload(t *testing.T) {
+	registerTestImpls()
+	for _, arrival := range []Arrival{Closed, Uniform, Bursty} {
+		res, err := Run(Workload{
+			Counter:     "test-alpha",
+			Queue:       "test-queue",
+			Goroutines:  4,
+			Ops:         4000,
+			CounterFrac: 0.5,
+			Arrival:     arrival,
+			Seed:        1,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", arrival, err)
+		}
+		if res.Ops != 4000 {
+			t.Errorf("%v: ops = %d, want 4000", arrival, res.Ops)
+		}
+		if res.CounterOps+res.QueueOps != res.Ops {
+			t.Errorf("%v: op split %d+%d != %d", arrival, res.CounterOps, res.QueueOps, res.Ops)
+		}
+		// A 50/50 mix over 4000 draws should not be wildly lopsided.
+		if res.CounterOps < 1000 || res.QueueOps < 1000 {
+			t.Errorf("%v: mix lopsided: %d counter, %d queue", arrival, res.CounterOps, res.QueueOps)
+		}
+		if res.Arrival != arrival.String() {
+			t.Errorf("arrival = %q, want %q", res.Arrival, arrival)
+		}
+		if res.NsPerOp() <= 0 {
+			t.Errorf("%v: ns/op = %v", arrival, res.NsPerOp())
+		}
+	}
+}
+
+func TestDriverPureWorkloads(t *testing.T) {
+	registerTestImpls()
+	res, err := Run(Workload{Counter: "test-alpha", Goroutines: 2, Ops: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CounterOps != 500 || res.QueueOps != 0 {
+		t.Errorf("pure counter split: %d/%d", res.CounterOps, res.QueueOps)
+	}
+	res, err = Run(Workload{Queue: "test-queue", Goroutines: 2, Ops: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueueOps != 500 || res.CounterOps != 0 {
+		t.Errorf("pure queue split: %d/%d", res.CounterOps, res.QueueOps)
+	}
+	res, err = Run(Workload{Counter: "test-alpha", Queue: "test-queue", PureQueue: true, Ops: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueueOps != 300 {
+		t.Errorf("PureQueue split: %d/%d", res.CounterOps, res.QueueOps)
+	}
+}
+
+func TestDriverDurationBudget(t *testing.T) {
+	registerTestImpls()
+	res, err := Run(Workload{
+		Counter:  "test-alpha",
+		Duration: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Error("duration-budget run performed no operations")
+	}
+	// A positive Duration replaces the ops budget, per the field doc: a
+	// huge Ops value must not outlive the deadline.
+	start := time.Now()
+	res, err = Run(Workload{
+		Counter:  "test-alpha",
+		Ops:      1 << 40,
+		Duration: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Duration did not replace Ops: run took %v", elapsed)
+	}
+	if res.Ops >= 1<<40 {
+		t.Errorf("run honored Ops (%d) instead of Duration", res.Ops)
+	}
+}
+
+func TestDriverRejectsBadConfig(t *testing.T) {
+	registerTestImpls()
+	if _, err := Run(Workload{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := Run(Workload{Counter: "no-such-counter"}); err == nil {
+		t.Error("unknown counter accepted")
+	}
+	if _, err := Run(Workload{Queue: "no-such-queue"}); err == nil {
+		t.Error("unknown queue accepted")
+	}
+	if _, err := Run(Workload{Counter: "test-alpha", Queue: "test-queue", CounterFrac: 1.5}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := ParseArrival("fractal"); err == nil {
+		t.Error("unknown arrival pattern accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package countq
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CounterInfo describes one registered counter implementation.
+type CounterInfo struct {
+	// Name is the registry key (e.g. "atomic", "sharded").
+	Name string
+	// Summary is a one-line human-readable description.
+	Summary string
+	// Linearizable records whether the implementation guarantees
+	// real-time (linearizable) ordering of counts, as opposed to the
+	// weaker quiescent consistency of counting networks and sharded
+	// designs.
+	Linearizable bool
+	// New constructs a fresh instance with sensible defaults.
+	New func() (Counter, error)
+}
+
+// QueueInfo describes one registered queuer implementation.
+type QueueInfo struct {
+	// Name is the registry key (e.g. "swap").
+	Name string
+	// Summary is a one-line human-readable description.
+	Summary string
+	// New constructs a fresh instance.
+	New func() (Queuer, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	counters = make(map[string]CounterInfo)
+	queues   = make(map[string]QueueInfo)
+)
+
+// RegisterCounter records a counter constructor under info.Name. It is
+// intended to be called from package init functions; registering an empty
+// name, a nil constructor, or a name twice panics.
+func RegisterCounter(info CounterInfo) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if info.Name == "" || info.New == nil {
+		panic("countq: RegisterCounter with empty name or nil constructor")
+	}
+	if _, dup := counters[info.Name]; dup {
+		panic(fmt.Sprintf("countq: counter %q registered twice", info.Name))
+	}
+	counters[info.Name] = info
+}
+
+// RegisterQueue records a queuer constructor under info.Name. It is
+// intended to be called from package init functions; registering an empty
+// name, a nil constructor, or a name twice panics.
+func RegisterQueue(info QueueInfo) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if info.Name == "" || info.New == nil {
+		panic("countq: RegisterQueue with empty name or nil constructor")
+	}
+	if _, dup := queues[info.Name]; dup {
+		panic(fmt.Sprintf("countq: queue %q registered twice", info.Name))
+	}
+	queues[info.Name] = info
+}
+
+// NewCounter constructs a fresh instance of the named counter, or reports
+// an error naming the registered alternatives.
+func NewCounter(name string) (Counter, error) {
+	regMu.RLock()
+	info, ok := counters[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("countq: unknown counter %q (registered: %v)", name, CounterNames())
+	}
+	return info.New()
+}
+
+// NewQueue constructs a fresh instance of the named queuer, or reports an
+// error naming the registered alternatives.
+func NewQueue(name string) (Queuer, error) {
+	regMu.RLock()
+	info, ok := queues[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("countq: unknown queue %q (registered: %v)", name, QueueNames())
+	}
+	return info.New()
+}
+
+// Counters returns every registered counter, sorted by name.
+func Counters() []CounterInfo {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]CounterInfo, 0, len(counters))
+	for _, info := range counters {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Queues returns every registered queuer, sorted by name.
+func Queues() []QueueInfo {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]QueueInfo, 0, len(queues))
+	for _, info := range queues {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CounterNames returns the registered counter names, sorted.
+func CounterNames() []string {
+	infos := Counters()
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// QueueNames returns the registered queuer names, sorted.
+func QueueNames() []string {
+	infos := Queues()
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+	}
+	return names
+}

@@ -1,0 +1,153 @@
+package countq
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// testCounter and testQueue are minimal in-package implementations so the
+// registry and driver can be tested without importing internal/shm (which
+// would register its own entries and couple the tests to that set).
+type testCounter struct{ v atomic.Int64 }
+
+func (c *testCounter) Inc() int64 { return c.v.Add(1) }
+
+type testQueue struct {
+	mu   sync.Mutex
+	tail int64
+}
+
+func (q *testQueue) Enqueue(id int64) int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p := q.tail
+	q.tail = id
+	return p
+}
+
+var registerTestImpls = sync.OnceFunc(func() {
+	RegisterCounter(CounterInfo{
+		Name: "test-zulu", Summary: "test counter z", Linearizable: true,
+		New: func() (Counter, error) { return &testCounter{}, nil },
+	})
+	RegisterCounter(CounterInfo{
+		Name: "test-alpha", Summary: "test counter a", Linearizable: true,
+		New: func() (Counter, error) { return &testCounter{}, nil },
+	})
+	RegisterQueue(QueueInfo{
+		Name: "test-queue", Summary: "test queue",
+		New: func() (Queuer, error) { return &testQueue{tail: Head}, nil },
+	})
+})
+
+func TestRegistryConstructs(t *testing.T) {
+	registerTestImpls()
+	c, err := NewCounter("test-alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Inc(); got != 1 {
+		t.Errorf("first count = %d, want 1", got)
+	}
+	q, err := NewQueue("test-queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Enqueue(7); got != Head {
+		t.Errorf("first pred = %d, want Head", got)
+	}
+	// Each New call must return a fresh instance, not shared state.
+	c2, err := NewCounter("test-alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Inc(); got != 1 {
+		t.Errorf("second instance first count = %d, want 1", got)
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	registerTestImpls()
+	if _, err := NewCounter("no-such-counter"); err == nil {
+		t.Error("unknown counter accepted")
+	} else if !strings.Contains(err.Error(), "test-alpha") {
+		t.Errorf("error does not name registered alternatives: %v", err)
+	}
+	if _, err := NewQueue("no-such-queue"); err == nil {
+		t.Error("unknown queue accepted")
+	} else if !strings.Contains(err.Error(), "test-queue") {
+		t.Errorf("error does not name registered alternatives: %v", err)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	registerTestImpls()
+	mustPanic(t, "duplicate counter", func() {
+		RegisterCounter(CounterInfo{
+			Name: "test-alpha",
+			New:  func() (Counter, error) { return &testCounter{}, nil },
+		})
+	})
+	mustPanic(t, "duplicate queue", func() {
+		RegisterQueue(QueueInfo{
+			Name: "test-queue",
+			New:  func() (Queuer, error) { return &testQueue{}, nil },
+		})
+	})
+	mustPanic(t, "empty counter name", func() {
+		RegisterCounter(CounterInfo{
+			New: func() (Counter, error) { return &testCounter{}, nil },
+		})
+	})
+	mustPanic(t, "nil queue constructor", func() {
+		RegisterQueue(QueueInfo{Name: "test-nil"})
+	})
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: registration did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestRegistryDeterministicOrder(t *testing.T) {
+	registerTestImpls()
+	for round := 0; round < 5; round++ {
+		names := CounterNames()
+		for i := 1; i < len(names); i++ {
+			if names[i-1] >= names[i] {
+				t.Fatalf("counter names not sorted: %v", names)
+			}
+		}
+	}
+	// "test-alpha" sorts before "test-zulu" regardless of registration
+	// order (zulu was registered first).
+	names := CounterNames()
+	ai, zi := -1, -1
+	for i, n := range names {
+		switch n {
+		case "test-alpha":
+			ai = i
+		case "test-zulu":
+			zi = i
+		}
+	}
+	if ai < 0 || zi < 0 || ai > zi {
+		t.Errorf("deterministic order violated: %v", names)
+	}
+	infos := Counters()
+	if len(infos) != len(names) {
+		t.Fatalf("Counters/CounterNames disagree: %d vs %d", len(infos), len(names))
+	}
+	for i := range infos {
+		if infos[i].Name != names[i] {
+			t.Errorf("Counters()[%d] = %q, CounterNames()[%d] = %q", i, infos[i].Name, i, names[i])
+		}
+	}
+}

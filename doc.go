@@ -7,16 +7,55 @@
 // protocol, a portfolio of distributed counting protocols (central,
 // aggregating tree, bitonic counting network), the nearest-neighbour TSP
 // machinery behind the queuing upper bound, exact evaluators for the
-// paper's lower bounds, and an experiment harness (E1–E12) that reproduces
+// paper's lower bounds, and an experiment harness (E1–E16) that reproduces
 // every theorem and figure as a measurable table. See DESIGN.md for the
-// system inventory and EXPERIMENTS.md for paper-versus-measured results.
+// system inventory; `go run ./cmd/countq run all` regenerates the
+// paper-versus-measured tables.
 //
-// Benchmarks in bench_test.go regenerate each experiment:
+// # Quickstart: the countq registry and workload driver
+//
+// The public package repro/countq exposes the shared-memory counting and
+// queuing structures behind one registry. Implementations self-register on
+// import (database/sql style), so constructing one by name takes two
+// lines:
+//
+//	import (
+//		"repro/countq"
+//
+//		_ "repro/internal/shm" // register the shared-memory implementations
+//	)
+//
+//	c, _ := countq.NewCounter("sharded") // or atomic | mutex | combining |
+//	                                     // funnel | network | diffracting
+//	q, _ := countq.NewQueue("swap")      // or list | mutex
+//
+// The workload driver runs the paper's counting-versus-queuing contrast
+// over any registered pair — operation mix, arrival pattern, goroutine
+// count and ops/duration budget are all configurable, and every run is
+// validated (counts distinct and gap-free, predecessors one total order):
+//
+//	res, err := countq.Run(countq.Workload{
+//		Counter:     "sharded",
+//		Queue:       "swap",
+//		Goroutines:  8,
+//		Ops:         1 << 20,
+//		CounterFrac: 0.5,
+//		Arrival:     countq.Bursty,
+//	})
+//
+// The same driver is exposed on the command line:
+//
+//	go run ./cmd/countq list                                  # experiments + registered protocols
+//	go run ./cmd/countq drive -counter sharded -queue swap -g 8 -ops 1000000 -json
+//
+// Benchmarks in bench_test.go iterate the registry, so every registered
+// implementation is measured for free:
 //
 //	go test -bench=. -benchmem
+//	go test -run TestBenchJSON -benchjson BENCH_now.json .    # machine-readable sweep
 //
 // The cmd/countq, cmd/nntsp and cmd/bounds executables expose the same
-// functionality on the command line, and examples/ holds four runnable
-// walkthroughs (quickstart, ordered multicast, distributed locking, and a
-// topology atlas).
+// functionality on the command line, and examples/ holds runnable
+// walkthroughs (quickstart, ordered multicast, distributed locking, a
+// ticket office, and a topology atlas).
 package repro

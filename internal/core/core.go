@@ -1,9 +1,11 @@
 // Package core is the experiment harness that reproduces every theorem,
 // figure and discussion point of Busch & Tirthapura, "Concurrent counting
 // is harder than queuing", as a measurable experiment. Each experiment
-// (E1–E12, see DESIGN.md) couples workload generation, protocol execution
+// (E1–E16, see DESIGN.md) couples workload generation, protocol execution
 // on the synchronous simulator, and the paper's symbolic bounds into one
-// table of paper-versus-measured rows.
+// table of paper-versus-measured rows. Experiments self-register (see
+// Register), and the shared-memory experiment enumerates its protocols
+// from the public repro/countq registry.
 package core
 
 import (
@@ -11,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/arrow"
 	"repro/internal/counting"
@@ -96,36 +99,75 @@ type Spec struct {
 	Run   func(cfg Config) (*Table, error)
 }
 
-// Experiments returns all experiment specs in order.
-func Experiments() []*Spec {
-	return []*Spec{
-		{"E1", "Counting lower bound Ω(n log* n) on the complete graph", "Theorem 3.5", RunE1},
-		{"E2", "Counting lower bound Ω(diameter²) on list and mesh", "Theorem 3.6", RunE2},
-		{"E3", "Arrow total delay ≤ 2 × nearest-neighbour TSP", "Theorem 4.1", RunE3},
-		{"E4", "Nearest-neighbour TSP on the list costs ≤ 3n", "Lemma 4.3 / Fig. 2", RunE4},
-		{"E5", "Nearest-neighbour TSP on perfect trees costs O(n)", "Theorem 4.7 / Lemma 4.9 / Fig. 3", RunE5},
-		{"E6", "Queuing beats counting on Hamilton-path graphs", "Theorem 4.5, Lemma 4.6", RunE6},
-		{"E7", "Queuing beats counting on perfect m-ary trees", "Theorem 4.12", RunE7},
-		{"E8", "Queuing beats counting on high-diameter graphs", "Theorem 4.13", RunE8},
-		{"E9", "On the star both problems cost Θ(n²)", "Conclusions", RunE9},
-		{"E10", "Counting and queuing semantics on the Fig. 1 example", "Figure 1", RunE10},
-		{"E11", "Shared-memory analog: goroutine counters vs queues", "paper thesis on a real substrate", RunE11},
-		{"E12", "Ablations: spanning tree, capacity, network width", "design choices", RunE12},
-		{"E13", "Long-lived queuing vs counting under arrival schedules", "extension: reference [8] setting", RunE13},
-		{"E14", "Separation under asynchronous (jittered) links", "extension: Section 2.1 remark", RunE14},
-		{"E15", "Adversarial request sets via hill climbing", "extension: the max over R in Eq. (1)/(3)", RunE15},
-		{"E16", "Distributed addition vs counting vs queuing", "extension: conclusions' open question", RunE16},
+var (
+	specMu sync.RWMutex
+	specs  = make(map[string]*Spec)
+)
+
+// Register records an experiment spec, keyed by ID. Each experiments_*.go
+// file registers its own specs from init, so adding an experiment file is
+// all it takes to extend the suite. Registering an empty ID, a nil Run, or
+// an ID twice panics.
+func Register(s *Spec) {
+	specMu.Lock()
+	defer specMu.Unlock()
+	if s == nil || s.ID == "" || s.Run == nil {
+		panic("core: Register with empty ID or nil Run")
 	}
+	key := strings.ToUpper(s.ID)
+	if _, dup := specs[key]; dup {
+		panic(fmt.Sprintf("core: experiment %s registered twice", s.ID))
+	}
+	specs[key] = s
+}
+
+// Experiments returns all registered experiment specs in suite order
+// (numeric when IDs share a prefix, e.g. E2 before E10).
+func Experiments() []*Spec {
+	specMu.RLock()
+	out := make([]*Spec, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, s)
+	}
+	specMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return specLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// specLess orders experiment IDs with numeric suffix awareness.
+func specLess(a, b string) bool {
+	pa, na := splitNum(a)
+	pb, nb := splitNum(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+// splitNum splits a trailing decimal number off an ID ("E12" → "E", 12).
+func splitNum(id string) (string, int) {
+	i := len(id)
+	for i > 0 && id[i-1] >= '0' && id[i-1] <= '9' {
+		i--
+	}
+	if i == len(id) {
+		return id, -1
+	}
+	n := 0
+	for _, c := range id[i:] {
+		n = n*10 + int(c-'0')
+	}
+	return id[:i], n
 }
 
 // Lookup returns the spec with the given ID (case-insensitive), or nil.
 func Lookup(id string) *Spec {
-	for _, s := range Experiments() {
-		if strings.EqualFold(s.ID, id) {
-			return s
-		}
-	}
-	return nil
+	specMu.RLock()
+	defer specMu.RUnlock()
+	return specs[strings.ToUpper(id)]
 }
 
 // --- shared workload helpers ---

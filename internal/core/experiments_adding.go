@@ -19,6 +19,10 @@ import (
 // request schedule is run through three coordination problems on the same
 // spanning tree: queuing (arrow), counting (combining tree, unit amounts)
 // and addition (combining tree, random amounts) — all validated.
+func init() {
+	Register(&Spec{ID: "E16", Title: "Distributed addition vs counting vs queuing", Ref: "extension: conclusions' open question", Run: RunE16})
+}
+
 func RunE16(cfg Config) (*Table, error) {
 	levels := []int{5, 7}
 	if cfg.Quick {

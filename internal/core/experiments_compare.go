@@ -14,6 +14,13 @@ import (
 // protocol on the Hamilton-path spanning tree yields C_Q = O(n), while any
 // counting protocol pays Ω(n log* n); the measured portfolio pays strictly
 // more. The experiment reports both sides plus their ratio as n grows.
+func init() {
+	Register(&Spec{ID: "E6", Title: "Queuing beats counting on Hamilton-path graphs", Ref: "Theorem 4.5, Lemma 4.6", Run: RunE6})
+	Register(&Spec{ID: "E7", Title: "Queuing beats counting on perfect m-ary trees", Ref: "Theorem 4.12", Run: RunE7})
+	Register(&Spec{ID: "E8", Title: "Queuing beats counting on high-diameter graphs", Ref: "Theorem 4.13", Run: RunE8})
+	Register(&Spec{ID: "E9", Title: "On the star both problems cost Θ(n²)", Ref: "Conclusions", Run: RunE9})
+}
+
 func RunE6(cfg Config) (*Table, error) {
 	type family struct {
 		name string

@@ -18,6 +18,11 @@ import (
 // counter (counting) on the same spanning tree under identical request
 // schedules; both are validated, and the total latency is compared across
 // load levels.
+func init() {
+	Register(&Spec{ID: "E13", Title: "Long-lived queuing vs counting under arrival schedules", Ref: "extension: reference [8] setting", Run: RunE13})
+	Register(&Spec{ID: "E14", Title: "Separation under asynchronous (jittered) links", Ref: "extension: Section 2.1 remark", Run: RunE14})
+}
+
 func RunE13(cfg Config) (*Table, error) {
 	sizes := []int{63, 255}
 	horizon := 200

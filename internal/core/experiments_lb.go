@@ -14,6 +14,11 @@ import (
 // information-theoretic lower bound Ω(n log* n) when all n nodes count.
 // The experiment measures the full counting portfolio on K_n with a
 // balanced binary spanning tree and reports measured versus bound.
+func init() {
+	Register(&Spec{ID: "E1", Title: "Counting lower bound Ω(n log* n) on the complete graph", Ref: "Theorem 3.5", Run: RunE1})
+	Register(&Spec{ID: "E2", Title: "Counting lower bound Ω(diameter²) on list and mesh", Ref: "Theorem 3.6", Run: RunE2})
+}
+
 func RunE1(cfg Config) (*Table, error) {
 	sizes := []int{16, 64, 256, 1024}
 	if cfg.Quick {

@@ -14,6 +14,11 @@ import (
 // small network where a subset of nodes issue operations, counting hands
 // each requester the rank of its operation while queuing hands it the
 // identity of its predecessor — and both agree on a single total order.
+func init() {
+	Register(&Spec{ID: "E10", Title: "Counting and queuing semantics on the Fig. 1 example", Ref: "Figure 1", Run: RunE10})
+	Register(&Spec{ID: "E12", Title: "Ablations: spanning tree, capacity, network width", Ref: "design choices", Run: RunE12})
+}
+
 func RunE10(Config) (*Table, error) {
 	// An 8-node graph shaped like Fig. 1's sketch; nodes a..h = 0..7,
 	// requesters a, c, e (0, 2, 4).

@@ -3,14 +3,23 @@ package core
 import (
 	"fmt"
 
+	"repro/countq"
 	"repro/internal/shm"
 )
 
+func init() {
+	Register(&Spec{ID: "E11", Title: "Shared-memory analog: goroutine counters vs queues", Ref: "paper thesis on a real substrate", Run: RunE11})
+}
+
 // RunE11 checks the paper's thesis on a real parallel substrate: goroutines
 // over shared memory. The counting structures that scale (combining,
-// counting network) pay multi-location coordination per operation, while
-// queuing — learning your predecessor — is a single atomic swap. Every run
-// is validated (counts form a permutation, predecessors form a total order).
+// counting network, sharded) pay multi-location coordination per
+// operation, while queuing — learning your predecessor — is a single
+// atomic swap. The protocol roster is not hand-maintained: every
+// implementation registered with the public countq registry (the whole
+// internal/shm zoo, plus anything future packages register) is measured,
+// and every run is validated (counts form a gap-free set after draining,
+// predecessors form a total order).
 func RunE11(cfg Config) (*Table, error) {
 	opsPerG := 20000
 	gs := []int{1, 2, 4, 8}
@@ -25,47 +34,29 @@ func RunE11(cfg Config) (*Table, error) {
 		Columns: []string{"structure", "kind", "goroutines", "ns/op"},
 	}
 	for _, g := range gs {
-		nc, err := shm.NewNetworkCounter(8)
-		if err != nil {
-			return nil, err
-		}
-		dt, err := shm.NewDiffractingCounter(8, 0)
-		if err != nil {
-			return nil, err
-		}
-		counterRuns := []struct {
-			name string
-			c    shm.Counter
-		}{
-			{"atomic fetch-add", shm.NewAtomicCounter()},
-			{"mutex counter", shm.NewMutexCounter()},
-			{"flat combining", shm.NewCombiningCounter(64)},
-			{"bitonic network w=8", nc},
-			{"diffracting tree L=8", dt},
-		}
-		for _, cr := range counterRuns {
-			m, err := shm.MeasureCounter(cr.name, cr.c, g, opsPerG)
+		for _, info := range countq.Counters() {
+			c, err := info.New()
 			if err != nil {
-				return nil, fmt.Errorf("E11 %s: %w", cr.name, err)
+				return nil, fmt.Errorf("E11 %s: %w", info.Name, err)
 			}
-			t.AddRow(cr.name, "counting", fmt.Sprint(g), fmt.Sprintf("%.1f", m.NsPerOp()))
-		}
-		queuerRuns := []struct {
-			name string
-			q    shm.Queuer
-		}{
-			{"atomic swap", shm.NewSwapQueue()},
-			{"CLH-style list", shm.NewListQueue()},
-			{"mutex queue", shm.NewMutexQueue()},
-		}
-		for _, qr := range queuerRuns {
-			m, err := shm.MeasureQueuer(qr.name, qr.q, g, opsPerG)
+			m, err := shm.MeasureCounter(info.Name, c, g, opsPerG)
 			if err != nil {
-				return nil, fmt.Errorf("E11 %s: %w", qr.name, err)
+				return nil, fmt.Errorf("E11 %s: %w", info.Name, err)
 			}
-			t.AddRow(qr.name, "queuing", fmt.Sprint(g), fmt.Sprintf("%.1f", m.NsPerOp()))
+			t.AddRow(info.Name, "counting", fmt.Sprint(g), fmt.Sprintf("%.1f", m.NsPerOp()))
+		}
+		for _, info := range countq.Queues() {
+			q, err := info.New()
+			if err != nil {
+				return nil, fmt.Errorf("E11 %s: %w", info.Name, err)
+			}
+			m, err := shm.MeasureQueuer(info.Name, q, g, opsPerG)
+			if err != nil {
+				return nil, fmt.Errorf("E11 %s: %w", info.Name, err)
+			}
+			t.AddRow(info.Name, "queuing", fmt.Sprint(g), fmt.Sprintf("%.1f", m.NsPerOp()))
 		}
 	}
-	t.AddNote("single-word counting (fetch-add) and queuing (swap) are equally cheap in shared memory; the paper's separation appears in the *scalable* structures: the counting network pays Θ(log² w) locked balancers per count, while queuing never needs more than the one swap")
+	t.AddNote("single-word counting (fetch-add) and queuing (swap) are equally cheap in shared memory; the paper's separation appears in the *scalable* structures: the counting network pays Θ(log² w) locked balancers per count and the sharded counter gives up linearizability for its throughput, while queuing never needs more than the one swap")
 	return t, nil
 }

@@ -15,6 +15,12 @@ import (
 // (capacity = max tree degree), the arrow protocol's total queuing delay is
 // at most twice the cost of the nearest-neighbour TSP visiting the request
 // set on the spanning tree, starting at the initial tail.
+func init() {
+	Register(&Spec{ID: "E3", Title: "Arrow total delay ≤ 2 × nearest-neighbour TSP", Ref: "Theorem 4.1", Run: RunE3})
+	Register(&Spec{ID: "E4", Title: "Nearest-neighbour TSP on the list costs ≤ 3n", Ref: "Lemma 4.3 / Fig. 2", Run: RunE4})
+	Register(&Spec{ID: "E5", Title: "Nearest-neighbour TSP on perfect trees costs O(n)", Ref: "Theorem 4.7 / Lemma 4.9 / Fig. 3", Run: RunE5})
+}
+
 func RunE3(cfg Config) (*Table, error) {
 	trials := 40
 	if cfg.Quick {

@@ -15,6 +15,10 @@ import (
 // membership bits to drive the total delay up, for both the arrow protocol
 // and the tree counter, and reports how much worse the found sets are than
 // the all-nodes workload the other experiments use.
+func init() {
+	Register(&Spec{ID: "E15", Title: "Adversarial request sets via hill climbing", Ref: "extension: the max over R in Eq. (1)/(3)", Run: RunE15})
+}
+
 func RunE15(cfg Config) (*Table, error) {
 	iters := 400
 	if cfg.Quick {

@@ -3,28 +3,33 @@
 //
 // The counting side offers a plain atomic fetch-and-increment, a mutex
 // counter, a flat-combining counter (batching concurrent increments, in the
-// spirit of software combining trees), and a bitonic counting network with
-// per-balancer locks. The queuing side is the telling contrast: learning
-// your predecessor needs a single atomic swap (the "distributed swap" of
-// Herlihy, Tirthapura and Wattenhofer), with no validation, no retry and no
-// multi-location coordination.
+// spirit of software combining trees), a combining-funnel variant, a
+// bitonic counting network with per-balancer locks, a diffracting tree,
+// and a sharded per-P counter with leased count blocks. The queuing side
+// is the telling contrast: learning your predecessor needs a single atomic
+// swap (the "distributed swap" of Herlihy, Tirthapura and Wattenhofer),
+// with no validation, no retry and no multi-location coordination.
+//
+// Every implementation registers itself with the public repro/countq
+// registry on import (see register.go), so importing this package for its
+// side effects makes the whole zoo constructible by name via
+// countq.NewCounter / countq.NewQueue.
 package shm
 
 import (
-	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/countq"
 	"repro/internal/counting"
 )
 
-// Counter hands out distinct counts 1, 2, 3, … to concurrent callers.
-type Counter interface {
-	// Inc returns the next count (1-based). Safe for concurrent use.
-	Inc() int64
-}
+// Counter hands out distinct counts 1, 2, 3, … to concurrent callers. It
+// is an alias of the public countq.Counter, so shm implementations satisfy
+// the registry interface directly.
+type Counter = countq.Counter
 
 // AtomicCounter is the hardware fetch-and-increment baseline.
 type AtomicCounter struct {
@@ -198,18 +203,6 @@ func (nc *NetworkCounter) Inc() int64 {
 }
 
 // ValidateCounts checks that values is a permutation of 1..len(values) —
-// the counting correctness condition.
-func ValidateCounts(values []int64) error {
-	n := len(values)
-	seen := make([]bool, n+1)
-	for _, v := range values {
-		if v < 1 || v > int64(n) {
-			return fmt.Errorf("shm: count %d outside 1..%d", v, n)
-		}
-		if seen[v] {
-			return fmt.Errorf("shm: count %d duplicated", v)
-		}
-		seen[v] = true
-	}
-	return nil
-}
+// the counting correctness condition. It delegates to the public
+// countq.ValidateCounts.
+func ValidateCounts(values []int64) error { return countq.ValidateCounts(values) }

@@ -1,0 +1,137 @@
+package shm
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// FunnelCounter is a combining funnel (Shavit & Zemach): operations fall
+// through layers of rendezvous slots, and when two meet in a slot one
+// captures the other — the captive parks, the captor carries the combined
+// increment onward. Whoever reaches the bottom applies its whole batch
+// with a single fetch-and-add and distributes sub-ranges back up the
+// capture tree. Under contention the hot word absorbs one RMW per batch.
+// The trade-off is the rendezvous wait: an operation that finds no
+// partner parks and spins in each layer before falling through, so low
+// concurrency pays latency for combining opportunities that never come —
+// the funnel earns its keep only once partners are plentiful.
+//
+// Unlike the counting network and the sharded counter, the funnel is
+// linearizable: a batch's fetch-and-add happens after every member of the
+// batch has started, so real-time order is preserved.
+type FunnelCounter struct {
+	v       atomic.Int64
+	layers  [][]funnelSlot
+	spin    int
+	entropy sync.Pool // per-P randomness for slot choice
+}
+
+type funnelSlot struct {
+	mu      sync.Mutex
+	waiting *funnelOp
+	_       [40]byte // keep adjacent slots off one cache line
+}
+
+// funnelOp is one operation's combining record: its own increment plus
+// everything it has captured on the way down.
+type funnelOp struct {
+	count    int64
+	children []*funnelOp
+	got      chan int64 // receives the exclusive base of the assigned range
+}
+
+var funnelSeed atomic.Int64
+
+// NewFunnelCounter builds a combining funnel. width is the top layer's
+// slot count (default max(1, GOMAXPROCS/2)); each deeper of the depth
+// layers (default 2) halves it; spin is how long an operation waits in a
+// slot for a partner before moving on (default 32).
+func NewFunnelCounter(width, depth, spin int) (*FunnelCounter, error) {
+	if width < 0 || depth < 0 || spin < 0 {
+		return nil, fmt.Errorf("shm: funnel parameters must be non-negative, got width=%d depth=%d spin=%d", width, depth, spin)
+	}
+	if width == 0 {
+		width = runtime.GOMAXPROCS(0) / 2
+		if width < 1 {
+			width = 1
+		}
+	}
+	if depth == 0 {
+		depth = 2
+	}
+	if spin == 0 {
+		spin = 32
+	}
+	f := &FunnelCounter{spin: spin, layers: make([][]funnelSlot, depth)}
+	for l := range f.layers {
+		w := width >> uint(l)
+		if w < 1 {
+			w = 1
+		}
+		f.layers[l] = make([]funnelSlot, w)
+	}
+	f.entropy.New = func() interface{} {
+		return rand.New(rand.NewSource(funnelSeed.Add(1)))
+	}
+	return f, nil
+}
+
+// Inc implements Counter.
+func (f *FunnelCounter) Inc() int64 {
+	op := &funnelOp{count: 1, got: make(chan int64, 1)}
+	rng := f.entropy.Get().(*rand.Rand)
+	for l := range f.layers {
+		layer := f.layers[l]
+		slot := &layer[rng.Intn(len(layer))]
+		slot.mu.Lock()
+		if w := slot.waiting; w != nil {
+			// Capture the parked operation and carry its batch down.
+			slot.waiting = nil
+			slot.mu.Unlock()
+			op.children = append(op.children, w)
+			op.count += w.count
+			continue
+		}
+		slot.waiting = op
+		slot.mu.Unlock()
+		for i := 0; i < f.spin; i++ {
+			select {
+			case base := <-op.got:
+				f.entropy.Put(rng)
+				return op.deliver(base)
+			default:
+				runtime.Gosched()
+			}
+		}
+		slot.mu.Lock()
+		if slot.waiting == op {
+			// No partner showed up: withdraw and keep falling.
+			slot.waiting = nil
+			slot.mu.Unlock()
+			continue
+		}
+		slot.mu.Unlock()
+		// A captor removed us between the spin and the lock; its batch
+		// will deliver our range.
+		f.entropy.Put(rng)
+		return op.deliver(<-op.got)
+	}
+	f.entropy.Put(rng)
+	// Reached the bottom as a carrier: apply the whole batch at once.
+	base := f.v.Add(op.count) - op.count
+	return op.deliver(base)
+}
+
+// deliver hands the half-open count range (base, base+op.count] to the
+// operation and its capture tree, returning the operation's own count.
+func (op *funnelOp) deliver(base int64) int64 {
+	cur := base + 1 // op takes the first count itself
+	for _, ch := range op.children {
+		ch.got <- cur
+		cur += ch.count
+	}
+	return base + 1
+}

@@ -1,22 +1,20 @@
 package shm
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/countq"
 )
 
 // Head is the predecessor reported to the first enqueued operation.
-const Head int64 = -1
+const Head = countq.Head
 
 // Queuer organizes concurrent operations into a total order, telling each
 // caller the identity of its predecessor — the shared-memory face of
 // distributed queuing. Operation ids must be distinct and non-negative.
-type Queuer interface {
-	// Enqueue appends id to the total order and returns the identity of
-	// its predecessor (Head for the first operation).
-	Enqueue(id int64) int64
-}
+// It is an alias of the public countq.Queuer.
+type Queuer = countq.Queuer
 
 // SwapQueue is the whole point of the comparison: one atomic swap yields
 // your predecessor. No retries, no multi-word coordination, no validation —
@@ -82,27 +80,6 @@ func (q *ListQueue) Enqueue(id int64) int64 {
 
 // ValidateOrder checks the queuing correctness condition on a set of
 // (id, predecessor) pairs: predecessors are distinct, exactly one operation
-// queued behind Head, and the successor chain covers every operation.
-func ValidateOrder(ids, preds []int64) error {
-	if len(ids) != len(preds) {
-		return fmt.Errorf("shm: %d ids but %d preds", len(ids), len(preds))
-	}
-	succ := make(map[int64]int64, len(ids))
-	for i, id := range ids {
-		p := preds[i]
-		if _, dup := succ[p]; dup {
-			return fmt.Errorf("shm: predecessor %d claimed twice", p)
-		}
-		succ[p] = id
-	}
-	count := 0
-	cur, ok := succ[Head]
-	for ok {
-		count++
-		cur, ok = succ[cur]
-	}
-	if count != len(ids) {
-		return fmt.Errorf("shm: chain covers %d of %d operations", count, len(ids))
-	}
-	return nil
-}
+// queued behind Head, and the successor chain covers every operation. It
+// delegates to the public countq.ValidateOrder.
+func ValidateOrder(ids, preds []int64) error { return countq.ValidateOrder(ids, preds) }

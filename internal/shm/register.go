@@ -1,0 +1,69 @@
+package shm
+
+import "repro/countq"
+
+// The shared-memory zoo registers itself with the public countq registry,
+// database/sql style: importing this package (even blank) makes every
+// implementation constructible by name, and new entries added here show up
+// automatically in cmd/countq's listing, core's E11 experiment, and the
+// top-level benchmarks.
+func init() {
+	countq.RegisterCounter(countq.CounterInfo{
+		Name:         "atomic",
+		Summary:      "hardware fetch-and-increment on one shared word",
+		Linearizable: true,
+		New:          func() (countq.Counter, error) { return NewAtomicCounter(), nil },
+	})
+	countq.RegisterCounter(countq.CounterInfo{
+		Name:         "mutex",
+		Summary:      "increments serialized behind a single mutex",
+		Linearizable: true,
+		New:          func() (countq.Counter, error) { return NewMutexCounter(), nil },
+	})
+	countq.RegisterCounter(countq.CounterInfo{
+		Name:         "combining",
+		Summary:      "flat combiner: one caller applies the whole pending batch",
+		Linearizable: true,
+		New:          func() (countq.Counter, error) { return NewCombiningCounter(1024), nil },
+	})
+	countq.RegisterCounter(countq.CounterInfo{
+		Name:         "funnel",
+		Summary:      "combining funnel: rendezvous layers batch increments into one fetch-and-add",
+		Linearizable: true,
+		New:          func() (countq.Counter, error) { return NewFunnelCounter(0, 0, 0) },
+	})
+	countq.RegisterCounter(countq.CounterInfo{
+		Name:         "network",
+		Summary:      "bitonic counting network (w=8) with per-balancer locks",
+		Linearizable: false,
+		New:          func() (countq.Counter, error) { return NewNetworkCounter(8) },
+	})
+	countq.RegisterCounter(countq.CounterInfo{
+		Name:         "diffracting",
+		Summary:      "diffracting tree (L=8): paired tokens bypass the toggles",
+		Linearizable: false,
+		New:          func() (countq.Counter, error) { return NewDiffractingCounter(8, 0) },
+	})
+	countq.RegisterCounter(countq.CounterInfo{
+		Name:         "sharded",
+		Summary:      "per-P shards leasing count blocks, reconciled on demand",
+		Linearizable: false,
+		New:          func() (countq.Counter, error) { return NewShardedCounter(0, 0) },
+	})
+
+	countq.RegisterQueue(countq.QueueInfo{
+		Name:    "swap",
+		Summary: "one atomic swap yields your predecessor (distributed swap)",
+		New:     func() (countq.Queuer, error) { return NewSwapQueue(), nil },
+	})
+	countq.RegisterQueue(countq.QueueInfo{
+		Name:    "list",
+		Summary: "CLH-style linked nodes installed with a swap",
+		New:     func() (countq.Queuer, error) { return NewListQueue(), nil },
+	})
+	countq.RegisterQueue(countq.QueueInfo{
+		Name:    "mutex",
+		Summary: "tail pointer updated under a mutex",
+		New:     func() (countq.Queuer, error) { return NewMutexQueue(), nil },
+	})
+}

@@ -1,0 +1,168 @@
+package shm
+
+import (
+	"sync"
+	"testing"
+)
+
+// shardedAll runs goroutines×opsPerG increments and returns the handed-out
+// counts together with the drained remainder.
+func shardedAll(t *testing.T, c *ShardedCounter, goroutines, opsPerG int) (handed, drained []int64) {
+	t.Helper()
+	results := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			vals := make([]int64, opsPerG)
+			for i := range vals {
+				vals[i] = c.Inc()
+			}
+			results[gi] = vals
+		}(gi)
+	}
+	wg.Wait()
+	for _, vs := range results {
+		handed = append(handed, vs...)
+	}
+	return handed, c.Drain()
+}
+
+// TestShardedCounterDistinctNoGaps is the sharded counter's correctness
+// check under -race: counts handed out concurrently are distinct, and
+// together with the drained lease remainders they cover 1..max without
+// gaps.
+func TestShardedCounterDistinctNoGaps(t *testing.T) {
+	for _, cfg := range []struct{ shards, batch int }{
+		{1, 1}, {2, 8}, {4, 64}, {8, 17},
+	} {
+		c, err := NewShardedCounter(cfg.shards, int64(cfg.batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handed, drained := shardedAll(t, c, 8, 500)
+		if len(handed) != 8*500 {
+			t.Fatalf("shards=%d batch=%d: %d counts handed out", cfg.shards, cfg.batch, len(handed))
+		}
+		if err := ValidateCounts(append(append([]int64(nil), handed...), drained...)); err != nil {
+			t.Errorf("shards=%d batch=%d: %v", cfg.shards, cfg.batch, err)
+		}
+	}
+}
+
+// TestShardedCounterReconcile checks that reconciled remainders are
+// reissued — after Reconcile, new increments consume the pooled ranges
+// before touching the global high-water mark, so a fully-drained counter
+// still covers 1..max exactly.
+func TestShardedCounterReconcile(t *testing.T) {
+	// One shard keeps the lease sequence deterministic (sync.Pool
+	// affinity is randomized under -race).
+	c, err := NewShardedCounter(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []int64
+	for i := 0; i < 10; i++ {
+		all = append(all, c.Inc())
+	}
+	c.Reconcile() // pools the 54 unused counts of the first lease
+	for i := 0; i < 100; i++ {
+		all = append(all, c.Inc())
+	}
+	if err := ValidateCounts(append(append([]int64(nil), all...), c.Drain()...)); err != nil {
+		t.Fatal(err)
+	}
+	// The pooled remainder must be reissued rather than leaked: 110 ops
+	// consume the first lease's 64 counts plus one fresh batch, so no
+	// count can exceed 128.
+	max := int64(0)
+	for _, v := range all {
+		if v > max {
+			max = v
+		}
+	}
+	if max > 128 {
+		t.Errorf("high-water mark %d suggests reconciled ranges were not reissued", max)
+	}
+}
+
+// TestShardedCounterQuiescentNotLinearizable documents the sharded
+// counter's consistency level: validity (distinct, gap-free after drain)
+// always holds, while linearizability is not guaranteed — shards hold
+// blocks from different eras, exactly like a counting network's output
+// wires.
+func TestShardedCounterQuiescentNotLinearizable(t *testing.T) {
+	c, err := NewShardedCounter(4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := RecordSpans(c, 8, 500)
+	vals := make([]int64, len(spans))
+	for i, s := range spans {
+		vals[i] = s.Value
+	}
+	if err := ValidateCounts(append(vals, c.Drain()...)); err != nil {
+		t.Fatalf("sharded validity: %v", err)
+	}
+	if err := CheckLinearizable(spans); err != nil {
+		t.Logf("expected behavior (quiescent consistency only): %v", err)
+	} else {
+		t.Log("no linearizability violation observed in this run (the property is not guaranteed either way)")
+	}
+}
+
+func TestShardedCounterRejectsBadBatch(t *testing.T) {
+	if _, err := NewShardedCounter(2, -3); err == nil {
+		t.Error("negative batch accepted")
+	}
+}
+
+func TestFunnelCounterValidates(t *testing.T) {
+	for _, cfg := range []struct{ width, depth, spin int }{
+		{1, 1, 4}, {2, 2, 16}, {4, 3, 8}, {0, 0, 0},
+	} {
+		c, err := NewFunnelCounter(cfg.width, cfg.depth, cfg.spin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := make([][]int64, 8)
+		var wg sync.WaitGroup
+		for gi := 0; gi < 8; gi++ {
+			wg.Add(1)
+			go func(gi int) {
+				defer wg.Done()
+				vals := make([]int64, 300)
+				for i := range vals {
+					vals[i] = c.Inc()
+				}
+				results[gi] = vals
+			}(gi)
+		}
+		wg.Wait()
+		var all []int64
+		for _, vs := range results {
+			all = append(all, vs...)
+		}
+		if err := ValidateCounts(all); err != nil {
+			t.Errorf("funnel %+v: %v", cfg, err)
+		}
+	}
+	if _, err := NewFunnelCounter(-1, 0, 0); err == nil {
+		t.Error("negative width accepted")
+	}
+}
+
+// TestFunnelCounterLinearizable: a batch's fetch-and-add happens after
+// every member has started, so the funnel — unlike the counting network —
+// preserves real-time order.
+func TestFunnelCounterLinearizable(t *testing.T) {
+	c, err := NewFunnelCounter(2, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := RecordSpans(c, 8, 300)
+	if err := CheckLinearizable(spans); err != nil {
+		t.Errorf("funnel counter: %v", err)
+	}
+}
