@@ -208,7 +208,7 @@ func BenchmarkShmCounters(b *testing.B) {
 	for _, info := range countq.Counters() {
 		info := info
 		b.Run(info.Name, func(b *testing.B) {
-			c, err := info.New()
+			c, err := info.New(countq.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -218,6 +218,60 @@ func BenchmarkShmCounters(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// tunableSpecs are the canonical non-default parameterizations swept by
+// the benchmarks and by TestBenchJSON, shared with E11 and enforced
+// complete (and free of stale names) by internal/shm's registry
+// round-trip test — so the recorded numbers trace a perf surface over the
+// coordination knobs instead of a single default point.
+var tunableSpecs = shm.VariantSpecs()
+
+// BenchmarkShmCounterTunables sweeps the declared tunables of every
+// parameterized counter via the public spec API.
+func BenchmarkShmCounterTunables(b *testing.B) {
+	for _, info := range countq.Counters() {
+		for _, spec := range tunableSpecs[info.Name] {
+			spec := spec
+			b.Run(spec, func(b *testing.B) {
+				c, err := countq.NewCounter(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						c.Inc()
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkShmCounterBatch measures the IncN batching escape hatch on the
+// counters that grant blocks in one coordination round.
+func BenchmarkShmCounterBatch(b *testing.B) {
+	for _, name := range []string{"atomic", "mutex", "sharded"} {
+		name := name
+		for _, n := range []int64{16, 256} {
+			n := n
+			b.Run(fmt.Sprintf("%s/n%d", name, n), func(b *testing.B) {
+				c, err := countq.NewCounter(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bi, ok := c.(countq.BatchIncrementer)
+				if !ok {
+					b.Fatalf("%s does not implement BatchIncrementer", name)
+				}
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						bi.IncN(n)
+					}
+				})
+			})
+		}
 	}
 }
 
@@ -246,7 +300,7 @@ func BenchmarkShmQueuers(b *testing.B) {
 	for _, info := range countq.Queues() {
 		info := info
 		b.Run(info.Name, func(b *testing.B) {
-			q, err := info.New()
+			q, err := info.New(countq.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -264,12 +318,19 @@ func BenchmarkShmQueuers(b *testing.B) {
 // --- Machine-readable perf trajectory. -------------------------------------
 
 // benchJSON, when set, makes TestBenchJSON sweep every registered counter
-// and queuer through the countq workload driver and write the validated
-// measurements as JSON (e.g. BENCH_2026_07.json), so successive PRs can
-// track a perf trajectory without scraping go-bench text output:
+// and queuer — at defaults, over the declared tunables (tunableSpecs), and
+// through the IncN batching path — through the countq workload driver and
+// write the validated measurements as JSON (e.g. BENCH_2026_07.json), so
+// successive PRs can track a perf *surface* over the coordination knobs
+// without scraping go-bench text output:
 //
 //	go test -run TestBenchJSON -benchjson BENCH_now.json .
-var benchJSON = flag.String("benchjson", "", "write registry-wide driver measurements to this JSON file")
+//
+// -benchops shrinks the per-run budget for smoke runs (CI uses a tiny one).
+var (
+	benchJSON = flag.String("benchjson", "", "write registry-wide driver measurements to this JSON file")
+	benchOps  = flag.Int("benchops", 50000, "operation budget per TestBenchJSON run")
+)
 
 func TestBenchJSON(t *testing.T) {
 	if *benchJSON == "" {
@@ -280,21 +341,30 @@ func TestBenchJSON(t *testing.T) {
 		Ops        int              `json:"ops_per_run"`
 		Results    []*countq.Result `json:"results"`
 	}
-	const ops = 50000
+	ops := *benchOps
 	out := sweep{GoMaxProcs: runtime.GOMAXPROCS(0), Ops: ops}
-	for _, info := range countq.Counters() {
-		res, err := countq.Run(countq.Workload{Counter: info.Name, Ops: ops, Seed: 1})
+	run := func(w countq.Workload) {
+		t.Helper()
+		w.Ops, w.Seed = ops, 1
+		res, err := countq.Run(w)
 		if err != nil {
-			t.Fatalf("%s: %v", info.Name, err)
+			t.Fatalf("%s%s: %v", w.Counter, w.Queue, err)
 		}
 		out.Results = append(out.Results, res)
 	}
-	for _, info := range countq.Queues() {
-		res, err := countq.Run(countq.Workload{Queue: info.Name, Ops: ops, Seed: 1})
-		if err != nil {
-			t.Fatalf("%s: %v", info.Name, err)
+	for _, info := range countq.Counters() {
+		run(countq.Workload{Counter: info.Name})
+		for _, spec := range tunableSpecs[info.Name] {
+			run(countq.Workload{Counter: spec})
 		}
-		out.Results = append(out.Results, res)
+		if c, err := countq.NewCounter(info.Name); err == nil {
+			if _, ok := c.(countq.BatchIncrementer); ok {
+				run(countq.Workload{Counter: info.Name, Batch: 64})
+			}
+		}
+	}
+	for _, info := range countq.Queues() {
+		run(countq.Workload{Queue: info.Name})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

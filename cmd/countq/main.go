@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	countq list                 # list experiments and registered protocols
+//	countq list [-v]            # list experiments and registered protocols (-v: declared params)
 //	countq run E1 E6 ...        # run selected experiments
 //	countq run all              # run the full suite
 //	countq compare -topo mesh2d -n 256
-//	countq drive -counter sharded -queue swap -g 8 -ops 100000
+//	countq drive -counter 'sharded?shards=4&batch=16' -queue swap -g 8 -ops 100000
+//	countq drive -counter sharded -sweep batch=16,64,256,1024
+//
+// Structures are named by spec: a bare registry name constructs the
+// declared defaults, "name?param=value&..." tunes the declared parameters
+// (list -v prints them). -sweep varies one counter parameter over a list
+// of values and reports one line (or JSON record) per configuration.
 //
 // Experiments and protocols both come from registries (internal/core's
 // spec registry and the public repro/countq registry), so new entries
@@ -39,7 +45,7 @@ func main() {
 	}
 	switch os.Args[1] {
 	case "list":
-		listCmd(os.Stdout)
+		listArgs(os.Args[2:])
 	case "run":
 		runCmd(os.Args[2:])
 	case "compare":
@@ -55,12 +61,23 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: countq {list | run [-quick] [-seed N] <ids...|all> | compare [-topo T] [-n N] | trace [-n N] [-reqs K] | drive [-counter C] [-queue Q] [-g N] [-ops N] [-dur D] [-mix F] [-arrival A] [-seed N] [-json]}")
+	fmt.Fprintln(os.Stderr, "usage: countq {list [-v] | run [-quick] [-seed N] <ids...|all> | compare [-topo T] [-n N] | trace [-n N] [-reqs K] | drive [-counter SPEC] [-queue SPEC] [-g N] [-ops N] [-dur D] [-mix F] [-batch N] [-sample K] [-arrival A] [-seed N] [-sweep P=V1,V2,...] [-json]}")
+}
+
+// listArgs parses the list flags and prints the listing.
+func listArgs(args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "also print each structure's declared construction parameters")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	listCmd(os.Stdout, *verbose)
 }
 
 // listCmd prints the experiment suite and the protocol registries; every
-// line is generated, never hand-maintained.
-func listCmd(w io.Writer) {
+// line — including the per-structure parameter documentation — is
+// generated from registry declarations, never hand-maintained.
+func listCmd(w io.Writer, verbose bool) {
 	fmt.Fprintln(w, "experiments:")
 	for _, s := range core.Experiments() {
 		fmt.Fprintf(w, "  %-4s %-70s %s\n", s.ID, s.Title, s.Ref)
@@ -72,26 +89,44 @@ func listCmd(w io.Writer) {
 			consistency = "linearizable"
 		}
 		fmt.Fprintf(w, "  %-12s %-13s %s\n", info.Name, consistency, info.Summary)
+		if verbose {
+			listParams(w, info.Params)
+		}
 	}
 	fmt.Fprintln(w, "\nqueues (countq registry):")
 	for _, info := range countq.Queues() {
 		fmt.Fprintf(w, "  %-12s %-13s %s\n", info.Name, "linearizable", info.Summary)
+		if verbose {
+			listParams(w, info.Params)
+		}
+	}
+}
+
+// listParams prints one structure's declared parameters, -v style.
+func listParams(w io.Writer, params []countq.ParamInfo) {
+	for _, p := range params {
+		fmt.Fprintf(w, "      %-8s default %-12s %s\n", p.Name, p.Default, p.Doc)
 	}
 }
 
 // driveCmd runs the mixed counting/queuing workload driver over any
-// registered protocol pair.
+// registered protocol pair, named by spec ("sharded?shards=4&batch=16").
+// With -sweep it varies one counter parameter over a list of values and
+// reports one configuration per line.
 func driveCmd(args []string) {
 	fs := flag.NewFlagSet("drive", flag.ExitOnError)
-	counter := fs.String("counter", "atomic", "registered counter name (empty for a pure queue workload)")
-	queue := fs.String("queue", "swap", "registered queue name (empty for a pure counter workload)")
+	counter := fs.String("counter", "atomic", "counter spec, e.g. 'sharded?shards=4&batch=16' (empty for a pure queue workload)")
+	queue := fs.String("queue", "swap", "queue spec (empty for a pure counter workload)")
 	g := fs.Int("g", 0, "goroutines (0 = GOMAXPROCS)")
 	ops := fs.Int("ops", 1<<17, "total operation budget")
 	dur := fs.Duration("dur", 0, "run for a duration instead of an ops budget")
-	mix := fs.Float64("mix", 0.5, "fraction of operations that count (the rest enqueue)")
+	mix := fs.Float64("mix", 0.5, "fraction of operations that count (the rest enqueue; 0 = pure queue)")
+	batch := fs.Int("batch", 0, "issue counter ops as IncN block grants of this size (counters that support it)")
+	sample := fs.Int("sample", 0, "time every Kth operation for per-op latency (0 = default 64)")
 	arrival := fs.String("arrival", "closed", "arrival pattern: closed|uniform|bursty")
 	seed := fs.Int64("seed", 1, "workload seed")
-	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	sweep := fs.String("sweep", "", "sweep one counter param over values, e.g. 'batch=16,64,256'")
+	asJSON := fs.Bool("json", false, "emit the result(s) as JSON")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -101,19 +136,42 @@ func driveCmd(args []string) {
 		os.Exit(2)
 	}
 	w := countq.Workload{
-		Counter:     *counter,
-		Queue:       *queue,
-		Goroutines:  *g,
-		Ops:         *ops,
-		CounterFrac: *mix,
-		Arrival:     arr,
-		Seed:        *seed,
+		Counter:       *counter,
+		Queue:         *queue,
+		Goroutines:    *g,
+		Ops:           *ops,
+		Mix:           *mix,
+		Batch:         *batch,
+		LatencySample: *sample,
+		Arrival:       arr,
+		Seed:          *seed,
 	}
 	if *dur > 0 {
 		w.Duration = *dur // replaces the ops budget
 	}
-	if *counter != "" && *queue != "" && *mix == 0 {
-		w.PureQueue = true
+	if *sweep != "" {
+		specs, err := sweepSpecs(*counter, *sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countq drive:", err)
+			os.Exit(2)
+		}
+		var results []*countq.Result
+		for _, spec := range specs {
+			w.Counter = spec
+			res, err := countq.Run(w)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "countq drive:", err)
+				os.Exit(1)
+			}
+			results = append(results, res)
+			if !*asJSON {
+				fmt.Printf("%-40s %10.1f ns/op counting %10.1f ns/op overall\n", res.Counter, res.CounterNs, res.NsPerOp())
+			}
+		}
+		if *asJSON {
+			printJSON(results)
+		}
+		return
 	}
 	res, err := countq.Run(w)
 	if err != nil {
@@ -121,24 +179,57 @@ func driveCmd(args []string) {
 		os.Exit(1)
 	}
 	if *asJSON {
-		out, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "countq drive:", err)
-			os.Exit(1)
-		}
-		fmt.Println(string(out))
+		printJSON(res)
 		return
 	}
 	fmt.Printf("counter=%s queue=%s arrival=%s goroutines=%d\n", res.Counter, res.Queue, res.Arrival, res.Goroutines)
 	fmt.Printf("ops=%d (count %d, enqueue %d) in %v — %.1f ns/op overall\n",
 		res.Ops, res.CounterOps, res.QueueOps, res.Elapsed.Round(time.Microsecond), res.NsPerOp())
 	if res.CounterOps > 0 {
-		fmt.Printf("counting: %.1f ns/op\n", res.CounterNs)
+		fmt.Printf("counting: %.1f ns/op", res.CounterNs)
+		if res.Batch > 1 {
+			fmt.Printf(" (IncN blocks of %d)", res.Batch)
+		}
+		fmt.Println()
 	}
 	if res.QueueOps > 0 {
 		fmt.Printf("queuing:  %.1f ns/op\n", res.QueueNs)
 	}
 	fmt.Println("validated: counts distinct and gap-free, predecessors form one total order")
+}
+
+// sweepSpecs expands a base counter spec and a "param=v1,v2,..." sweep
+// argument into one spec per value.
+func sweepSpecs(counter, sweep string) ([]string, error) {
+	if counter == "" {
+		return nil, fmt.Errorf("-sweep needs a -counter to vary")
+	}
+	param, list, ok := strings.Cut(sweep, "=")
+	if !ok || param == "" || list == "" {
+		return nil, fmt.Errorf("malformed -sweep %q (want param=v1,v2,...)", sweep)
+	}
+	base, err := countq.ParseSpec(counter)
+	if err != nil {
+		return nil, err
+	}
+	var specs []string
+	for _, v := range strings.Split(list, ",") {
+		if v == "" {
+			return nil, fmt.Errorf("malformed -sweep %q: empty value", sweep)
+		}
+		specs = append(specs, base.With(param, v).String())
+	}
+	return specs, nil
+}
+
+// printJSON writes v as indented JSON to stdout.
+func printJSON(v interface{}) {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "countq drive:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
 }
 
 func traceCmd(args []string) {

@@ -13,7 +13,7 @@ import (
 // hand-maintained roster to fall out of date.
 func TestListIsRegistryDriven(t *testing.T) {
 	var b strings.Builder
-	listCmd(&b)
+	listCmd(&b, false)
 	out := b.String()
 	for _, want := range []string{"E1", "E11", "E16", "sharded", "funnel", "atomic", "combining", "network", "swap"} {
 		if !strings.Contains(out, want) {
@@ -32,17 +32,91 @@ func TestListIsRegistryDriven(t *testing.T) {
 	}
 }
 
+// TestListVerboseShowsParams checks that list -v prints every declared
+// parameter of every registered structure, straight from the registry.
+func TestListVerboseShowsParams(t *testing.T) {
+	var b strings.Builder
+	listCmd(&b, true)
+	out := b.String()
+	for _, want := range []string{"shards", "batch", "width", "depth", "spin", "leaves", "pending"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verbose list missing param %q", want)
+		}
+	}
+	for _, info := range countq.Counters() {
+		for _, p := range info.Params {
+			if !strings.Contains(out, p.Name) || !strings.Contains(out, p.Doc) {
+				t.Errorf("verbose list missing declared param %s.%s", info.Name, p.Name)
+			}
+		}
+	}
+	// The terse listing stays terse.
+	var terse strings.Builder
+	listCmd(&terse, false)
+	if strings.Contains(terse.String(), "default") {
+		t.Error("non-verbose list leaks param documentation")
+	}
+}
+
 // TestDriveRegistryResolution runs the driver end-to-end over a registered
-// pair, as the drive subcommand does.
+// pair — including a parameterized spec, the acceptance-criteria path —
+// as the drive subcommand does.
 func TestDriveRegistryResolution(t *testing.T) {
 	res, err := countq.Run(countq.Workload{
-		Counter: "sharded", Queue: "swap", Goroutines: 4, Ops: 2000, Seed: 1,
+		Counter: "sharded", Queue: "swap", Goroutines: 4, Ops: 2000, Mix: 0.5, Seed: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Ops != 2000 {
 		t.Errorf("ops = %d, want 2000", res.Ops)
+	}
+	res, err = countq.Run(countq.Workload{
+		Counter: "sharded?shards=4&batch=16", Queue: "swap",
+		Goroutines: 4, Ops: 2000, Mix: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counter != "sharded?shards=4&batch=16" {
+		t.Errorf("result spec = %q", res.Counter)
+	}
+}
+
+func TestSweepSpecs(t *testing.T) {
+	specs, err := sweepSpecs("sharded?shards=4", "batch=16,64,256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"sharded?batch=16&shards=4",
+		"sharded?batch=64&shards=4",
+		"sharded?batch=256&shards=4",
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("specs = %v", specs)
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("specs[%d] = %q, want %q", i, specs[i], want[i])
+		}
+	}
+	// Each swept spec must actually construct and run.
+	for _, spec := range specs {
+		if _, err := countq.Run(countq.Workload{Counter: spec, Ops: 200, Seed: 1}); err != nil {
+			t.Errorf("swept spec %q failed: %v", spec, err)
+		}
+	}
+	for _, bad := range []struct{ counter, sweep string }{
+		{"", "batch=1,2"},
+		{"sharded", "batch"},
+		{"sharded", "=1,2"},
+		{"sharded", "batch=1,,2"},
+		{"?x=1", "batch=1"},
+	} {
+		if _, err := sweepSpecs(bad.counter, bad.sweep); err == nil {
+			t.Errorf("sweepSpecs(%q, %q) accepted", bad.counter, bad.sweep)
+		}
 	}
 }
 

@@ -2,13 +2,19 @@
 // counting and queuing structures — the two sides of Busch & Tirthapura,
 // "Concurrent counting is harder than queuing".
 //
-// It defines the Counter and Queuer interfaces, a string-keyed registry of
+// It defines the Counter and Queuer interfaces, a spec-keyed registry of
 // self-registering implementations (the shared-memory structures in
 // internal/shm register themselves on import, in the manner of
 // database/sql drivers), and a configurable mixed-workload driver that
 // runs any registered counter/queuer pair under a chosen operation mix,
 // arrival pattern, goroutine count and ops budget — the paper's
 // counting-versus-queuing contrast as one function call.
+//
+// Structures are constructed from specs: a bare registry name builds the
+// structure at its declared defaults, and a DSN-style parameter list tunes
+// the knobs that control its coordination cost. Every parameter is
+// declared by the implementation (see CounterInfo.Params); unknown keys
+// and mistyped values are rejected, never silently defaulted.
 //
 // Quickstart:
 //
@@ -18,23 +24,33 @@
 //		_ "repro/internal/shm" // register the shared-memory implementations
 //	)
 //
-//	c, err := countq.NewCounter("sharded")
+//	c, err := countq.NewCounter("sharded?shards=4&batch=16")
 //	q, err := countq.NewQueue("swap")
 //
 //	res, err := countq.Run(countq.Workload{
-//		Counter:     "sharded",
-//		Queue:       "swap",
-//		Goroutines:  8,
-//		Ops:         100000,
-//		CounterFrac: 0.5,
-//		Arrival:     countq.Bursty,
+//		Counter:    "sharded?shards=4&batch=16",
+//		Queue:      "swap",
+//		Goroutines: 8,
+//		Ops:        100000,
+//		Mix:        0.5,
+//		Arrival:    countq.Bursty,
 //	})
 //
-// Every run is validated: counts must form a gap-free set of distinct
-// values and predecessors must chain into a single total order.
+// Counters may additionally implement two capability interfaces the
+// driver exploits when present: HandleMaker (per-goroutine handles with an
+// uncontended fast path) and BatchIncrementer (IncN block grants — a whole
+// range of counts for one coordination round).
+//
+// Every run is validated: counts — including IncN block grants — must form
+// a gap-free set of distinct values and predecessors must chain into a
+// single total order.
 package countq
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"sort"
+)
 
 // Counter hands out distinct counts 1, 2, 3, … to concurrent callers.
 type Counter interface {
@@ -64,19 +80,89 @@ type Drainer interface {
 	Drain() []int64
 }
 
+// CounterHandle is a per-goroutine session with a counter: Inc hands out
+// counts on a fast path that may hold private state (such as an unused
+// lease remainder), and Close surrenders that state back to the shared
+// structure so a subsequent Drain accounts for every leased count. A
+// handle is owned by one goroutine and is not safe for concurrent use;
+// the counter it came from remains safe for concurrent use alongside it.
+type CounterHandle interface {
+	Inc() int64
+	Close()
+}
+
+// HandleMaker is implemented by counters whose uncontended fast path lives
+// in per-goroutine handles (e.g. the sharded counter's per-worker lease).
+// The workload driver gives each worker its own handle when the interface
+// is present, and closes it when the worker finishes.
+type HandleMaker interface {
+	NewHandle() CounterHandle
+}
+
+// BatchIncrementer is implemented by counters that can grant a block of
+// counts in one coordination round — the batching escape hatch the paper's
+// per-operation lower bound does not price. The workload driver uses it
+// when Workload.Batch > 1, and ValidateCountRanges extends the gap-free
+// check to block grants.
+type BatchIncrementer interface {
+	// IncN atomically grants the n consecutive counts
+	// first, first+1, …, first+n-1 and returns first. n must be ≥ 1;
+	// IncN(1) is equivalent to Inc.
+	IncN(n int64) (first int64)
+}
+
+// CountRange records one IncN block grant: the counts
+// First, First+1, …, First+N-1.
+type CountRange struct {
+	First int64 `json:"first"`
+	N     int64 `json:"n"`
+}
+
 // ValidateCounts checks that values is a permutation of 1..len(values) —
 // the counting correctness condition (distinct counts, no gaps).
 func ValidateCounts(values []int64) error {
-	n := len(values)
-	seen := make([]bool, n+1)
+	return ValidateCountRanges(values, nil)
+}
+
+// ValidateCountRanges checks the counting correctness condition over
+// singly granted counts plus IncN block grants: together they must tile
+// 1..total exactly, where total = len(values) + Σ blocks[i].N — every
+// count distinct, no gaps, blocks fully accounted. It runs in
+// O(k log k) time and O(k) space in the number of grants, never sizing
+// anything by the claimed totals, so malformed input from a buggy
+// implementation yields an error rather than an allocation failure.
+func ValidateCountRanges(values []int64, blocks []CountRange) error {
+	total := int64(len(values))
+	type span struct{ lo, hi int64 } // counts [lo, hi)
+	spans := make([]span, 0, len(values)+len(blocks))
 	for _, v := range values {
-		if v < 1 || v > int64(n) {
-			return fmt.Errorf("countq: count %d outside 1..%d", v, n)
+		if v == math.MaxInt64 {
+			return fmt.Errorf("countq: count %d overflows", v)
 		}
-		if seen[v] {
-			return fmt.Errorf("countq: count %d duplicated", v)
+		spans = append(spans, span{v, v + 1})
+	}
+	for _, b := range blocks {
+		if b.N < 1 {
+			return fmt.Errorf("countq: block grant of %d counts (want ≥ 1)", b.N)
 		}
-		seen[v] = true
+		if b.First > math.MaxInt64-b.N || b.N > math.MaxInt64-total {
+			return fmt.Errorf("countq: block [%d,+%d) overflows", b.First, b.N)
+		}
+		total += b.N
+		spans = append(spans, span{b.First, b.First + b.N})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	next := int64(1) // lowest count not yet accounted for
+	for _, s := range spans {
+		switch {
+		case s.lo < 1 || s.lo > total:
+			return fmt.Errorf("countq: count %d outside 1..%d", s.lo, total)
+		case s.lo < next:
+			return fmt.Errorf("countq: count %d duplicated", s.lo)
+		case s.lo > next:
+			return fmt.Errorf("countq: count %d missing (gap before %d)", next, s.lo)
+		}
+		next = s.hi
 	}
 	return nil
 }

@@ -53,9 +53,9 @@ func ParseArrival(name string) (Arrival, error) {
 
 // Workload configures one mixed counting/queuing run.
 type Workload struct {
-	// Counter and Queue name registered implementations. At least one
-	// must be set; leaving one empty runs a pure workload of the other
-	// kind.
+	// Counter and Queue are structure specs — a registered name, optionally
+	// with parameters ("sharded?shards=4&batch=16"). At least one must be
+	// set; leaving one empty runs a pure workload of the other kind.
 	Counter string
 	Queue   string
 	// Goroutines is the number of concurrent workers (default
@@ -67,13 +67,22 @@ type Workload struct {
 	// Duration, when positive, replaces Ops: goroutines issue operations
 	// until the deadline passes.
 	Duration time.Duration
-	// CounterFrac is the fraction of operations sent to the counter
-	// (the rest enqueue). It is forced to 1 when Queue is empty and 0
-	// when Counter is empty; with both set, zero means an even 50/50
-	// split unless PureQueue is set.
-	CounterFrac float64
-	// PureQueue forces CounterFrac = 0 even though both names are set.
-	PureQueue bool
+	// Mix is the fraction of operations sent to the counter (the rest
+	// enqueue), and means exactly what it says: the zero value sends every
+	// operation to the queue, so a mixed run must set Mix explicitly.
+	// It is forced to 1 when Queue is empty and 0 when Counter is empty;
+	// with both set it must lie in [0,1].
+	Mix float64
+	// Batch, when > 1 and the counter implements BatchIncrementer, issues
+	// counter operations as IncN(Batch) block grants — one coordination
+	// round per Batch counts — and validation covers the granted ranges.
+	// Ignored (single Incs) when the counter lacks the capability.
+	Batch int
+	// LatencySample controls per-operation timing: every Kth operation of
+	// each kind is timed (default 64; 1 times every operation). Sampling
+	// keeps the timing overhead from distorting ns/op for fast structures;
+	// operation totals and wall-clock elapsed stay exact regardless.
+	LatencySample int
 	// Arrival selects the arrival pattern (default Closed).
 	Arrival Arrival
 	// Seed drives the per-goroutine mix and arrival randomness; runs
@@ -82,19 +91,23 @@ type Workload struct {
 	Seed int64
 }
 
-// Result reports one driver run. Counts and predecessor chains have
-// already been validated when Run returns it.
+// Result reports one driver run. Counts (including block grants) and
+// predecessor chains have already been validated when Run returns it.
 type Result struct {
 	Counter    string        `json:"counter,omitempty"`
 	Queue      string        `json:"queue,omitempty"`
 	Arrival    string        `json:"arrival"`
 	Goroutines int           `json:"goroutines"`
+	Batch      int           `json:"batch,omitempty"`
 	Ops        int           `json:"ops"`
 	CounterOps int           `json:"counter_ops"`
 	QueueOps   int           `json:"queue_ops"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
-	CounterNs  float64       `json:"counter_ns_per_op"`
-	QueueNs    float64       `json:"queue_ns_per_op"`
+	// CounterNs and QueueNs are per-operation latencies from the sampled
+	// timings (see Workload.LatencySample); batched counter operations
+	// report the per-count amortized cost of their IncN call.
+	CounterNs float64 `json:"counter_ns_per_op"`
+	QueueNs   float64 `json:"queue_ns_per_op"`
 }
 
 // NsPerOp reports average wall nanoseconds per operation.
@@ -106,9 +119,14 @@ func (r *Result) NsPerOp() float64 {
 }
 
 // Run executes the workload against freshly constructed instances of the
-// named implementations, validates the outcome (counts distinct and
-// gap-free after draining leased remainders, predecessors a single total
-// order), and reports throughput per kind.
+// specified implementations, validates the outcome (counts distinct and
+// gap-free after draining leased remainders — block grants included —
+// predecessors a single total order), and reports throughput per kind.
+//
+// Capability interfaces are exploited when present: a HandleMaker counter
+// serves each worker through its own handle (closed when the worker
+// finishes), and with Workload.Batch > 1 a BatchIncrementer counter takes
+// block grants instead of single increments.
 func Run(w Workload) (*Result, error) {
 	if w.Counter == "" && w.Queue == "" {
 		return nil, fmt.Errorf("countq: workload names neither a counter nor a queue")
@@ -128,17 +146,15 @@ func Run(w Workload) (*Result, error) {
 			return nil, err
 		}
 	}
-	frac := w.CounterFrac
+	mix := w.Mix
 	switch {
 	case q == nil:
-		frac = 1
-	case c == nil || w.PureQueue:
-		frac = 0
-	case frac == 0:
-		frac = 0.5
+		mix = 1
+	case c == nil:
+		mix = 0
 	}
-	if frac < 0 || frac > 1 {
-		return nil, fmt.Errorf("countq: counter fraction %v outside [0,1]", frac)
+	if mix < 0 || mix > 1 {
+		return nil, fmt.Errorf("countq: counter mix %v outside [0,1]", mix)
 	}
 	goroutines := w.Goroutines
 	if goroutines <= 0 {
@@ -150,12 +166,35 @@ func Run(w Workload) (*Result, error) {
 	} else if ops <= 0 {
 		ops = 1 << 16
 	}
+	batch := 0
+	var batcher BatchIncrementer
+	if w.Batch > 1 {
+		if b, ok := c.(BatchIncrementer); ok {
+			batch, batcher = w.Batch, b
+		}
+	}
+	// Each batched draw grants `batch` counter operations at once, so the
+	// per-draw counter probability must shrink for Mix to stay the
+	// fraction of *operations* that count: solving
+	// p·batch / (p·batch + (1-p)) = mix for p.
+	drawMix := mix
+	if batcher != nil && mix > 0 && mix < 1 {
+		drawMix = mix / (float64(batch)*(1-mix) + mix)
+	}
+	sample := w.LatencySample
+	if sample <= 0 {
+		sample = 64
+	}
+	maker, _ := c.(HandleMaker)
 
 	type lane struct {
 		counts     []int64
+		blocks     []CountRange
 		ids, preds []int64
-		counterNs  int64
-		queueNs    int64
+		counterNs  int64 // sampled
+		queueNs    int64 // sampled
+		counterSam int64 // counter ops covered by the sampled timings
+		queueSam   int64
 	}
 	lanes := make([]lane, goroutines)
 	var wg sync.WaitGroup
@@ -174,29 +213,65 @@ func Run(w Workload) (*Result, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(w.Seed + int64(gi)*7919))
 			ln := &lanes[gi]
+			inc := func() int64 { return c.Inc() } // c may be nil in pure-queue runs
+			if maker != nil {
+				h := maker.NewHandle()
+				defer h.Close()
+				inc = h.Inc
+			}
 			burst := 0
-			for i := 0; ; i++ {
+			issued := 0 // operations completed (block grants count as N)
+			for iter := 0; ; iter++ {
 				if budget > 0 {
-					if i >= budget {
+					if issued >= budget {
 						break
 					}
-				} else if i%64 == 0 && !time.Now().Before(deadline) {
+				} else if iter%64 == 0 && !time.Now().Before(deadline) {
 					break
 				}
 				pause(w.Arrival, rng, &burst)
-				if frac == 1 || (frac > 0 && rng.Float64() < frac) {
-					t0 := time.Now()
-					v := c.Inc()
-					ln.counterNs += time.Since(t0).Nanoseconds()
-					ln.counts = append(ln.counts, v)
+				if mix == 1 || (mix > 0 && rng.Float64() < drawMix) {
+					if batcher != nil {
+						n := int64(batch)
+						if budget > 0 && issued+batch > budget {
+							n = int64(budget - issued)
+						}
+						if len(ln.blocks)%sample == 0 {
+							t0 := time.Now()
+							first := batcher.IncN(n)
+							ln.counterNs += time.Since(t0).Nanoseconds()
+							ln.counterSam += n
+							ln.blocks = append(ln.blocks, CountRange{First: first, N: n})
+						} else {
+							ln.blocks = append(ln.blocks, CountRange{First: batcher.IncN(n), N: n})
+						}
+						issued += int(n)
+						continue
+					}
+					if len(ln.counts)%sample == 0 {
+						t0 := time.Now()
+						v := inc()
+						ln.counterNs += time.Since(t0).Nanoseconds()
+						ln.counterSam++
+						ln.counts = append(ln.counts, v)
+					} else {
+						ln.counts = append(ln.counts, inc())
+					}
 				} else {
-					id := int64(gi)<<32 | int64(i)
-					t0 := time.Now()
-					p := q.Enqueue(id)
-					ln.queueNs += time.Since(t0).Nanoseconds()
-					ln.ids = append(ln.ids, id)
-					ln.preds = append(ln.preds, p)
+					id := int64(gi)<<32 | int64(iter)
+					if len(ln.ids)%sample == 0 {
+						t0 := time.Now()
+						p := q.Enqueue(id)
+						ln.queueNs += time.Since(t0).Nanoseconds()
+						ln.queueSam++
+						ln.ids = append(ln.ids, id)
+						ln.preds = append(ln.preds, p)
+					} else {
+						ln.ids = append(ln.ids, id)
+						ln.preds = append(ln.preds, q.Enqueue(id))
+					}
 				}
+				issued++
 			}
 		}(gi, budget)
 	}
@@ -204,19 +279,28 @@ func Run(w Workload) (*Result, error) {
 	elapsed := time.Since(start)
 
 	var counts, ids, preds []int64
-	var counterNs, queueNs int64
+	var blocks []CountRange
+	var counterNs, queueNs, counterSam, queueSam int64
+	counterOps := 0
 	for gi := range lanes {
 		counts = append(counts, lanes[gi].counts...)
+		blocks = append(blocks, lanes[gi].blocks...)
 		ids = append(ids, lanes[gi].ids...)
 		preds = append(preds, lanes[gi].preds...)
 		counterNs += lanes[gi].counterNs
 		queueNs += lanes[gi].queueNs
+		counterSam += lanes[gi].counterSam
+		queueSam += lanes[gi].queueSam
 	}
-	counterOps, queueOps := len(counts), len(ids)
+	counterOps = len(counts)
+	for _, b := range blocks {
+		counterOps += int(b.N)
+	}
+	queueOps := len(ids)
 	if d, ok := c.(Drainer); ok {
 		counts = append(counts, d.Drain()...)
 	}
-	if err := ValidateCounts(counts); err != nil {
+	if err := ValidateCountRanges(counts, blocks); err != nil {
 		return nil, fmt.Errorf("countq: %s failed validation: %w", w.Counter, err)
 	}
 	if err := ValidateOrder(ids, preds); err != nil {
@@ -228,16 +312,17 @@ func Run(w Workload) (*Result, error) {
 		Queue:      w.Queue,
 		Arrival:    w.Arrival.String(),
 		Goroutines: goroutines,
+		Batch:      batch,
 		Ops:        counterOps + queueOps,
 		CounterOps: counterOps,
 		QueueOps:   queueOps,
 		Elapsed:    elapsed,
 	}
-	if counterOps > 0 {
-		res.CounterNs = float64(counterNs) / float64(counterOps)
+	if counterSam > 0 {
+		res.CounterNs = float64(counterNs) / float64(counterSam)
 	}
-	if queueOps > 0 {
-		res.QueueNs = float64(queueNs) / float64(queueOps)
+	if queueSam > 0 {
+		res.QueueNs = float64(queueNs) / float64(queueSam)
 	}
 	return res, nil
 }

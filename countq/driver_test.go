@@ -9,13 +9,13 @@ func TestDriverMixedWorkload(t *testing.T) {
 	registerTestImpls()
 	for _, arrival := range []Arrival{Closed, Uniform, Bursty} {
 		res, err := Run(Workload{
-			Counter:     "test-alpha",
-			Queue:       "test-queue",
-			Goroutines:  4,
-			Ops:         4000,
-			CounterFrac: 0.5,
-			Arrival:     arrival,
-			Seed:        1,
+			Counter:    "test-alpha",
+			Queue:      "test-queue",
+			Goroutines: 4,
+			Ops:        4000,
+			Mix:        0.5,
+			Arrival:    arrival,
+			Seed:       1,
 		})
 		if err != nil {
 			t.Fatalf("%v: %v", arrival, err)
@@ -55,12 +55,137 @@ func TestDriverPureWorkloads(t *testing.T) {
 	if res.QueueOps != 500 || res.CounterOps != 0 {
 		t.Errorf("pure queue split: %d/%d", res.CounterOps, res.QueueOps)
 	}
-	res, err = Run(Workload{Counter: "test-alpha", Queue: "test-queue", PureQueue: true, Ops: 300})
+	// Mix means what it says: the zero value with both structures set is a
+	// pure-queue run — no silent 50/50, no escape-hatch field.
+	res, err = Run(Workload{Counter: "test-alpha", Queue: "test-queue", Ops: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.QueueOps != 300 {
-		t.Errorf("PureQueue split: %d/%d", res.CounterOps, res.QueueOps)
+	if res.QueueOps != 300 || res.CounterOps != 0 {
+		t.Errorf("zero Mix split: %d/%d, want pure queue", res.CounterOps, res.QueueOps)
+	}
+	// And Mix 1 with both set is a pure-counter run.
+	res, err = Run(Workload{Counter: "test-alpha", Queue: "test-queue", Mix: 1, Ops: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CounterOps != 300 || res.QueueOps != 0 {
+		t.Errorf("Mix=1 split: %d/%d, want pure counter", res.CounterOps, res.QueueOps)
+	}
+}
+
+func TestDriverParameterizedSpecs(t *testing.T) {
+	registerTestImpls()
+	// Workload.Counter is a spec: parameters flow through the registry.
+	// start=0 is required for validation (counts must cover 1..n), so this
+	// exercises the parse-and-construct path end to end.
+	res, err := Run(Workload{Counter: "test-param?start=0", Goroutines: 2, Ops: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counter != "test-param?start=0" {
+		t.Errorf("result spec = %q", res.Counter)
+	}
+	// Bad specs fail before any goroutine runs.
+	if _, err := Run(Workload{Counter: "test-param?bogus=1"}); err == nil {
+		t.Error("unknown param accepted by the driver")
+	}
+}
+
+func TestDriverBatchGrants(t *testing.T) {
+	registerTestImpls()
+	// A BatchIncrementer counter with Batch > 1 takes IncN block grants;
+	// validation proves the granted ranges tile 1..ops with no overlap.
+	res, err := Run(Workload{Counter: "test-batch", Goroutines: 4, Ops: 4096, Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CounterOps != 4096 {
+		t.Errorf("batched counter ops = %d, want 4096", res.CounterOps)
+	}
+	if res.Batch != 64 {
+		t.Errorf("result batch = %d, want 64", res.Batch)
+	}
+	// An uneven budget forces a short final block per goroutine.
+	res, err = Run(Workload{Counter: "test-batch", Goroutines: 3, Ops: 1000, Batch: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CounterOps != 1000 {
+		t.Errorf("uneven batched ops = %d, want 1000", res.CounterOps)
+	}
+	// Mix still means the fraction of operations when batching: block
+	// draws are down-weighted so a 50/50 mix stays near 50/50 in ops.
+	res, err = Run(Workload{
+		Counter: "test-batch", Queue: "test-queue",
+		Goroutines: 2, Ops: 20000, Mix: 0.5, Batch: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.CounterOps) / float64(res.Ops)
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("batched mix drifted: counter fraction %.2f (split %d/%d)", frac, res.CounterOps, res.QueueOps)
+	}
+	// Batch on a counter without the capability falls back to single Incs.
+	res, err = Run(Workload{Counter: "test-alpha", Ops: 200, Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batch != 0 {
+		t.Errorf("incapable counter reported batch %d", res.Batch)
+	}
+	if res.CounterOps != 200 {
+		t.Errorf("fallback ops = %d, want 200", res.CounterOps)
+	}
+}
+
+func TestDriverHandles(t *testing.T) {
+	registerTestImpls()
+	// A HandleMaker counter serves each worker through its own handle.
+	// Validation passing proves the handles' leases plus Close/Drain close
+	// the range; the close count proves every worker got (and closed) one.
+	res, err := Run(Workload{Counter: "test-handle", Goroutines: 4, Ops: 1002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CounterOps != 1002 {
+		t.Errorf("handle ops = %d, want 1002", res.CounterOps)
+	}
+	c := lastHandleCounter.Load()
+	if c == nil {
+		t.Fatal("registry did not construct the test-handle counter")
+	}
+	if got := c.closes.Load(); got != 4 {
+		t.Errorf("handle closes = %d, want 4 (one per goroutine)", got)
+	}
+}
+
+func TestDriverLatencySampling(t *testing.T) {
+	registerTestImpls()
+	// With a sampling interval larger than 1 the per-kind latencies still
+	// come out positive (the first op of each kind is always sampled) and
+	// op totals stay exact.
+	res, err := Run(Workload{
+		Counter: "test-alpha", Queue: "test-queue",
+		Goroutines: 2, Ops: 2000, Mix: 0.5, LatencySample: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2000 {
+		t.Errorf("sampled run ops = %d, want 2000", res.Ops)
+	}
+	if res.CounterNs <= 0 || res.QueueNs <= 0 {
+		t.Errorf("sampled latencies not positive: counter %v, queue %v", res.CounterNs, res.QueueNs)
+	}
+	// Sampling every op still works.
+	res, err = Run(Workload{Counter: "test-alpha", Ops: 100, LatencySample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CounterNs <= 0 {
+		t.Errorf("per-op sampling latency = %v", res.CounterNs)
 	}
 }
 
@@ -106,8 +231,14 @@ func TestDriverRejectsBadConfig(t *testing.T) {
 	if _, err := Run(Workload{Queue: "no-such-queue"}); err == nil {
 		t.Error("unknown queue accepted")
 	}
-	if _, err := Run(Workload{Counter: "test-alpha", Queue: "test-queue", CounterFrac: 1.5}); err == nil {
-		t.Error("fraction > 1 accepted")
+	if _, err := Run(Workload{Counter: "test-alpha", Queue: "test-queue", Mix: 1.5}); err == nil {
+		t.Error("mix > 1 accepted")
+	}
+	if _, err := Run(Workload{Counter: "test-alpha", Queue: "test-queue", Mix: -0.5}); err == nil {
+		t.Error("mix < 0 accepted")
+	}
+	if _, err := Run(Workload{Counter: "?x=1"}); err == nil {
+		t.Error("nameless spec accepted")
 	}
 	if _, err := ParseArrival("fractal"); err == nil {
 		t.Error("unknown arrival pattern accepted")

@@ -3,6 +3,7 @@ package countq
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -17,8 +18,12 @@ type CounterInfo struct {
 	// weaker quiescent consistency of counting networks and sharded
 	// designs.
 	Linearizable bool
-	// New constructs a fresh instance with sensible defaults.
-	New func() (Counter, error)
+	// Params declares every construction parameter the implementation
+	// accepts. Spec keys outside this set are rejected before New runs.
+	Params []ParamInfo
+	// New constructs a fresh instance from the given options; the zero
+	// Options means all defaults.
+	New func(Options) (Counter, error)
 }
 
 // QueueInfo describes one registered queuer implementation.
@@ -27,8 +32,12 @@ type QueueInfo struct {
 	Name string
 	// Summary is a one-line human-readable description.
 	Summary string
-	// New constructs a fresh instance.
-	New func() (Queuer, error)
+	// Params declares every construction parameter the implementation
+	// accepts. Spec keys outside this set are rejected before New runs.
+	Params []ParamInfo
+	// New constructs a fresh instance from the given options; the zero
+	// Options means all defaults.
+	New func(Options) (Queuer, error)
 }
 
 var (
@@ -37,15 +46,35 @@ var (
 	queues   = make(map[string]QueueInfo)
 )
 
+// checkInfo enforces the shared registration invariants: a non-empty name
+// without spec metacharacters, a constructor, and distinct non-empty
+// parameter names.
+func checkInfo(kind, name string, hasNew bool, params []ParamInfo) {
+	if name == "" || !hasNew {
+		panic(fmt.Sprintf("countq: Register%s with empty name or nil constructor", kind))
+	}
+	if strings.ContainsAny(name, "?&=") {
+		panic(fmt.Sprintf("countq: %s name %q contains a spec metacharacter", kind, name))
+	}
+	seen := make(map[string]bool, len(params))
+	for _, p := range params {
+		if p.Name == "" {
+			panic(fmt.Sprintf("countq: %s %q declares a param with no name", kind, name))
+		}
+		if seen[p.Name] {
+			panic(fmt.Sprintf("countq: %s %q declares param %q twice", kind, name, p.Name))
+		}
+		seen[p.Name] = true
+	}
+}
+
 // RegisterCounter records a counter constructor under info.Name. It is
 // intended to be called from package init functions; registering an empty
-// name, a nil constructor, or a name twice panics.
+// name, a nil constructor, malformed params, or a name twice panics.
 func RegisterCounter(info CounterInfo) {
 	regMu.Lock()
 	defer regMu.Unlock()
-	if info.Name == "" || info.New == nil {
-		panic("countq: RegisterCounter with empty name or nil constructor")
-	}
+	checkInfo("Counter", info.Name, info.New != nil, info.Params)
 	if _, dup := counters[info.Name]; dup {
 		panic(fmt.Sprintf("countq: counter %q registered twice", info.Name))
 	}
@@ -54,41 +83,67 @@ func RegisterCounter(info CounterInfo) {
 
 // RegisterQueue records a queuer constructor under info.Name. It is
 // intended to be called from package init functions; registering an empty
-// name, a nil constructor, or a name twice panics.
+// name, a nil constructor, malformed params, or a name twice panics.
 func RegisterQueue(info QueueInfo) {
 	regMu.Lock()
 	defer regMu.Unlock()
-	if info.Name == "" || info.New == nil {
-		panic("countq: RegisterQueue with empty name or nil constructor")
-	}
+	checkInfo("Queue", info.Name, info.New != nil, info.Params)
 	if _, dup := queues[info.Name]; dup {
 		panic(fmt.Sprintf("countq: queue %q registered twice", info.Name))
 	}
 	queues[info.Name] = info
 }
 
-// NewCounter constructs a fresh instance of the named counter, or reports
-// an error naming the registered alternatives.
-func NewCounter(name string) (Counter, error) {
-	regMu.RLock()
-	info, ok := counters[name]
-	regMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("countq: unknown counter %q (registered: %v)", name, CounterNames())
+// NewCounter constructs a fresh instance from a counter spec — a bare name
+// ("sharded") or a parameterized form ("sharded?shards=64&batch=256").
+// Unknown names report the registered alternatives; unknown or mistyped
+// parameters report the declared set.
+func NewCounter(spec string) (Counter, error) {
+	s, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
 	}
-	return info.New()
+	return NewCounterFromSpec(s)
 }
 
-// NewQueue constructs a fresh instance of the named queuer, or reports an
-// error naming the registered alternatives.
-func NewQueue(name string) (Queuer, error) {
+// NewCounterFromSpec is NewCounter for an already-parsed Spec, the form
+// sweeps use to vary one parameter programmatically (see Spec.With).
+func NewCounterFromSpec(s Spec) (Counter, error) {
 	regMu.RLock()
-	info, ok := queues[name]
+	info, ok := counters[s.Name]
 	regMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("countq: unknown queue %q (registered: %v)", name, QueueNames())
+		return nil, fmt.Errorf("countq: unknown counter %q (registered: %v)", s.Name, CounterNames())
 	}
-	return info.New()
+	if err := checkParams("counter", s.Name, s.Options, info.Params); err != nil {
+		return nil, err
+	}
+	return info.New(s.Options)
+}
+
+// NewQueue constructs a fresh instance from a queuer spec — a bare name or
+// "name?param=value&…". Unknown names report the registered alternatives;
+// unknown or mistyped parameters report the declared set.
+func NewQueue(spec string) (Queuer, error) {
+	s, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewQueueFromSpec(s)
+}
+
+// NewQueueFromSpec is NewQueue for an already-parsed Spec.
+func NewQueueFromSpec(s Spec) (Queuer, error) {
+	regMu.RLock()
+	info, ok := queues[s.Name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("countq: unknown queue %q (registered: %v)", s.Name, QueueNames())
+	}
+	if err := checkParams("queue", s.Name, s.Options, info.Params); err != nil {
+		return nil, err
+	}
+	return info.New(s.Options)
 }
 
 // Counters returns every registered counter, sorted by name.

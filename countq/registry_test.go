@@ -14,6 +14,74 @@ type testCounter struct{ v atomic.Int64 }
 
 func (c *testCounter) Inc() int64 { return c.v.Add(1) }
 
+// testParamCounter exercises the options path: "start" offsets the first
+// count (useful only to observe that the parameter arrived).
+type testParamCounter struct {
+	start int64
+	v     atomic.Int64
+}
+
+func (c *testParamCounter) Inc() int64 { return c.start + c.v.Add(1) }
+
+// testBatchCounter implements BatchIncrementer.
+type testBatchCounter struct{ v atomic.Int64 }
+
+func (c *testBatchCounter) Inc() int64         { return c.v.Add(1) }
+func (c *testBatchCounter) IncN(n int64) int64 { return c.v.Add(n) - n + 1 }
+
+// testHandleCounter implements HandleMaker and Drainer in miniature: each
+// handle leases blocks of testLease counts off the shared high-water mark,
+// Close surrenders the remainder, Drain returns every surrendered count.
+type testHandleCounter struct {
+	next   atomic.Int64
+	closes atomic.Int64
+	mu     sync.Mutex
+	free   []int64
+}
+
+const testLease = 4
+
+func (c *testHandleCounter) Inc() int64 { return c.next.Add(1) }
+
+func (c *testHandleCounter) NewHandle() CounterHandle { return &testHandle{c: c} }
+
+func (c *testHandleCounter) Drain() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.free
+	c.free = nil
+	return out
+}
+
+type testHandle struct {
+	c      *testHandleCounter
+	lo, hi int64 // private lease: [lo, hi) remain
+}
+
+func (h *testHandle) Inc() int64 {
+	if h.lo == h.hi {
+		hi := h.c.next.Add(testLease)
+		h.lo, h.hi = hi-testLease+1, hi+1
+	}
+	v := h.lo
+	h.lo++
+	return v
+}
+
+func (h *testHandle) Close() {
+	h.c.closes.Add(1)
+	h.c.mu.Lock()
+	for v := h.lo; v < h.hi; v++ {
+		h.c.free = append(h.c.free, v)
+	}
+	h.c.mu.Unlock()
+	h.lo, h.hi = 0, 0
+}
+
+// lastHandleCounter is the most recent test-handle instance the registry
+// constructed, so driver tests can observe handle lifecycle counts.
+var lastHandleCounter atomic.Pointer[testHandleCounter]
+
 type testQueue struct {
 	mu   sync.Mutex
 	tail int64
@@ -30,15 +98,38 @@ func (q *testQueue) Enqueue(id int64) int64 {
 var registerTestImpls = sync.OnceFunc(func() {
 	RegisterCounter(CounterInfo{
 		Name: "test-zulu", Summary: "test counter z", Linearizable: true,
-		New: func() (Counter, error) { return &testCounter{}, nil },
+		New: func(Options) (Counter, error) { return &testCounter{}, nil },
 	})
 	RegisterCounter(CounterInfo{
 		Name: "test-alpha", Summary: "test counter a", Linearizable: true,
-		New: func() (Counter, error) { return &testCounter{}, nil },
+		New: func(Options) (Counter, error) { return &testCounter{}, nil },
+	})
+	RegisterCounter(CounterInfo{
+		Name: "test-param", Summary: "test counter with a declared param", Linearizable: true,
+		Params: []ParamInfo{{Name: "start", Default: "0", Doc: "offset added to every count"}},
+		New: func(o Options) (Counter, error) {
+			start := o.Int64("start", 0)
+			if err := o.Err(); err != nil {
+				return nil, err
+			}
+			return &testParamCounter{start: start}, nil
+		},
+	})
+	RegisterCounter(CounterInfo{
+		Name: "test-batch", Summary: "test counter with IncN", Linearizable: true,
+		New: func(Options) (Counter, error) { return &testBatchCounter{}, nil },
+	})
+	RegisterCounter(CounterInfo{
+		Name: "test-handle", Summary: "test counter with per-goroutine handles", Linearizable: false,
+		New: func(Options) (Counter, error) {
+			c := &testHandleCounter{}
+			lastHandleCounter.Store(c)
+			return c, nil
+		},
 	})
 	RegisterQueue(QueueInfo{
 		Name: "test-queue", Summary: "test queue",
-		New: func() (Queuer, error) { return &testQueue{tail: Head}, nil },
+		New: func(Options) (Queuer, error) { return &testQueue{tail: Head}, nil },
 	})
 })
 
@@ -68,6 +159,47 @@ func TestRegistryConstructs(t *testing.T) {
 	}
 }
 
+func TestRegistryParameterizedSpecs(t *testing.T) {
+	registerTestImpls()
+	// Parameter reaches the constructor.
+	c, err := NewCounter("test-param?start=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Inc(); got != 101 {
+		t.Errorf("parameterized first count = %d, want 101", got)
+	}
+	// Defaults when the spec omits the parameter.
+	c, err = NewCounter("test-param")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Inc(); got != 1 {
+		t.Errorf("default first count = %d, want 1", got)
+	}
+	// Unknown keys are rejected, naming the declared set.
+	if _, err := NewCounter("test-param?strat=100"); err == nil {
+		t.Error("unknown param key accepted")
+	} else if !strings.Contains(err.Error(), "start") {
+		t.Errorf("unknown-key error does not name declared params: %v", err)
+	}
+	// Structures with no declared params reject every key.
+	if _, err := NewCounter("test-alpha?x=1"); err == nil {
+		t.Error("param on a param-less counter accepted")
+	}
+	if _, err := NewQueue("test-queue?x=1"); err == nil {
+		t.Error("param on a param-less queue accepted")
+	}
+	// Mistyped values surface the conversion error.
+	if _, err := NewCounter("test-param?start=banana"); err == nil {
+		t.Error("non-integer param value accepted")
+	}
+	// Malformed spec strings are rejected at parse time.
+	if _, err := NewCounter("test-param?start"); err == nil {
+		t.Error("key without value accepted")
+	}
+}
+
 func TestRegistryUnknownName(t *testing.T) {
 	registerTestImpls()
 	if _, err := NewCounter("no-such-counter"); err == nil {
@@ -87,22 +219,35 @@ func TestRegistryDuplicatePanics(t *testing.T) {
 	mustPanic(t, "duplicate counter", func() {
 		RegisterCounter(CounterInfo{
 			Name: "test-alpha",
-			New:  func() (Counter, error) { return &testCounter{}, nil },
+			New:  func(Options) (Counter, error) { return &testCounter{}, nil },
 		})
 	})
 	mustPanic(t, "duplicate queue", func() {
 		RegisterQueue(QueueInfo{
 			Name: "test-queue",
-			New:  func() (Queuer, error) { return &testQueue{}, nil },
+			New:  func(Options) (Queuer, error) { return &testQueue{}, nil },
 		})
 	})
 	mustPanic(t, "empty counter name", func() {
 		RegisterCounter(CounterInfo{
-			New: func() (Counter, error) { return &testCounter{}, nil },
+			New: func(Options) (Counter, error) { return &testCounter{}, nil },
 		})
 	})
 	mustPanic(t, "nil queue constructor", func() {
 		RegisterQueue(QueueInfo{Name: "test-nil"})
+	})
+	mustPanic(t, "spec metacharacter in name", func() {
+		RegisterCounter(CounterInfo{
+			Name: "test?bad",
+			New:  func(Options) (Counter, error) { return &testCounter{}, nil },
+		})
+	})
+	mustPanic(t, "duplicate param declaration", func() {
+		RegisterCounter(CounterInfo{
+			Name:   "test-dup-param",
+			Params: []ParamInfo{{Name: "x"}, {Name: "x"}},
+			New:    func(Options) (Counter, error) { return &testCounter{}, nil },
+		})
 	})
 }
 

@@ -12,12 +12,14 @@
 // system inventory; `go run ./cmd/countq run all` regenerates the
 // paper-versus-measured tables.
 //
-// # Quickstart: the countq registry and workload driver
+// # Quickstart: specs, the countq registry, and the workload driver
 //
 // The public package repro/countq exposes the shared-memory counting and
 // queuing structures behind one registry. Implementations self-register on
-// import (database/sql style), so constructing one by name takes two
-// lines:
+// import (database/sql style) and are constructed from specs: a bare name
+// builds the declared defaults, and a DSN-style parameter list tunes the
+// knobs that control each structure's coordination cost — the quantity the
+// paper's lower bound is about:
 //
 //	import (
 //		"repro/countq"
@@ -25,37 +27,46 @@
 //		_ "repro/internal/shm" // register the shared-memory implementations
 //	)
 //
-//	c, _ := countq.NewCounter("sharded") // or atomic | mutex | combining |
-//	                                     // funnel | network | diffracting
-//	q, _ := countq.NewQueue("swap")      // or list | mutex
+//	c, _ := countq.NewCounter("sharded?shards=4&batch=16")
+//	q, _ := countq.NewQueue("swap")
+//
+// Every parameter is declared by its implementation (CounterInfo.Params),
+// so unknown keys and mistyped values are rejected, `countq list -v`
+// prints the full catalogue, and Spec.With fans a base spec out into a
+// sweep. Counters may also advertise two capability interfaces:
+// HandleMaker (per-goroutine handles whose fast path is uncontended) and
+// BatchIncrementer (IncN — a block of counts for one coordination round).
 //
 // The workload driver runs the paper's counting-versus-queuing contrast
 // over any registered pair — operation mix, arrival pattern, goroutine
-// count and ops/duration budget are all configurable, and every run is
-// validated (counts distinct and gap-free, predecessors one total order):
+// count, ops/duration budget and IncN batching are all configurable, and
+// every run is validated (counts distinct and gap-free, block grants
+// included, predecessors one total order):
 //
 //	res, err := countq.Run(countq.Workload{
-//		Counter:     "sharded",
-//		Queue:       "swap",
-//		Goroutines:  8,
-//		Ops:         1 << 20,
-//		CounterFrac: 0.5,
-//		Arrival:     countq.Bursty,
+//		Counter:    "sharded?shards=4&batch=16",
+//		Queue:      "swap",
+//		Goroutines: 8,
+//		Ops:        1 << 20,
+//		Mix:        0.5,
+//		Arrival:    countq.Bursty,
 //	})
 //
-// The same driver is exposed on the command line:
+// The same driver is exposed on the command line, including a one-flag
+// parameter sweep:
 //
-//	go run ./cmd/countq list                                  # experiments + registered protocols
-//	go run ./cmd/countq drive -counter sharded -queue swap -g 8 -ops 1000000 -json
+//	go run ./cmd/countq list -v                               # experiments + protocols + tunables
+//	go run ./cmd/countq drive -counter 'sharded?shards=4&batch=16' -queue swap -g 8 -ops 1000000 -json
+//	go run ./cmd/countq drive -counter sharded -sweep batch=16,64,256,1024
 //
-// Benchmarks in bench_test.go iterate the registry, so every registered
-// implementation is measured for free:
+// Benchmarks in bench_test.go iterate the registry and sweep the declared
+// tunables, so every registered implementation is measured for free:
 //
 //	go test -bench=. -benchmem
-//	go test -run TestBenchJSON -benchjson BENCH_now.json .    # machine-readable sweep
+//	go test -run TestBenchJSON -benchjson BENCH_now.json .    # machine-readable perf surface
 //
 // The cmd/countq, cmd/nntsp and cmd/bounds executables expose the same
 // functionality on the command line, and examples/ holds runnable
-// walkthroughs (quickstart, ordered multicast, distributed locking, a
-// ticket office, and a topology atlas).
+// walkthroughs (quickstart, a spec-API sweep, ordered multicast,
+// distributed locking, a ticket office, and a topology atlas).
 package repro

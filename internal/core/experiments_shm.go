@@ -17,15 +17,26 @@ func init() {
 // operation, while queuing — learning your predecessor — is a single
 // atomic swap. The protocol roster is not hand-maintained: every
 // implementation registered with the public countq registry (the whole
-// internal/shm zoo, plus anything future packages register) is measured,
-// and every run is validated (counts form a gap-free set after draining,
-// predecessors form a total order).
+// internal/shm zoo, plus anything future packages register) is measured at
+// its declared defaults, then a few non-default specs show how the
+// tunables move the coordination cost. Every run is validated (counts form
+// a gap-free set after draining, predecessors form a total order).
 func RunE11(cfg Config) (*Table, error) {
 	opsPerG := 20000
 	gs := []int{1, 2, 4, 8}
+	// Non-default parameterizations from the canonical per-structure
+	// variant list (the coordination knobs at both ends of their ranges),
+	// constructed through the public spec API. Iterating the sorted
+	// registry keeps the table order deterministic.
+	var variants []string
+	allVariants := shm.VariantSpecs()
+	for _, info := range countq.Counters() {
+		variants = append(variants, allVariants[info.Name]...)
+	}
 	if cfg.Quick {
 		opsPerG = 2000
 		gs = []int{1, 4}
+		variants = allVariants["sharded"]
 	}
 	t := &Table{
 		ID:      "E11",
@@ -35,7 +46,7 @@ func RunE11(cfg Config) (*Table, error) {
 	}
 	for _, g := range gs {
 		for _, info := range countq.Counters() {
-			c, err := info.New()
+			c, err := info.New(countq.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("E11 %s: %w", info.Name, err)
 			}
@@ -45,8 +56,19 @@ func RunE11(cfg Config) (*Table, error) {
 			}
 			t.AddRow(info.Name, "counting", fmt.Sprint(g), fmt.Sprintf("%.1f", m.NsPerOp()))
 		}
+		for _, spec := range variants {
+			c, err := countq.NewCounter(spec)
+			if err != nil {
+				return nil, fmt.Errorf("E11 %s: %w", spec, err)
+			}
+			m, err := shm.MeasureCounter(spec, c, g, opsPerG)
+			if err != nil {
+				return nil, fmt.Errorf("E11 %s: %w", spec, err)
+			}
+			t.AddRow(spec, "counting", fmt.Sprint(g), fmt.Sprintf("%.1f", m.NsPerOp()))
+		}
 		for _, info := range countq.Queues() {
-			q, err := info.New()
+			q, err := info.New(countq.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("E11 %s: %w", info.Name, err)
 			}

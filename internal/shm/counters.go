@@ -42,6 +42,10 @@ func NewAtomicCounter() *AtomicCounter { return &AtomicCounter{} }
 // Inc implements Counter.
 func (c *AtomicCounter) Inc() int64 { return c.v.Add(1) }
 
+// IncN implements countq.BatchIncrementer: one fetch-and-add grants the
+// whole block first..first+n-1.
+func (c *AtomicCounter) IncN(n int64) int64 { return c.v.Add(n) - n + 1 }
+
 // MutexCounter serializes increments behind a mutex.
 type MutexCounter struct {
 	mu sync.Mutex
@@ -58,6 +62,16 @@ func (c *MutexCounter) Inc() int64 {
 	v := c.v
 	c.mu.Unlock()
 	return v
+}
+
+// IncN implements countq.BatchIncrementer: one critical section grants the
+// whole block first..first+n-1.
+func (c *MutexCounter) IncN(n int64) int64 {
+	c.mu.Lock()
+	c.v += n
+	first := c.v - n + 1
+	c.mu.Unlock()
+	return first
 }
 
 // CombiningCounter batches concurrent increments: callers publish requests

@@ -1,69 +1,180 @@
 package shm
 
-import "repro/countq"
+import (
+	"fmt"
+
+	"repro/countq"
+)
+
+// variantSpecs is the canonical set of non-default parameterizations for
+// every registered structure that declares params: one small/serializing
+// configuration and one wide/spread one per structure. E11, the top-level
+// benchmarks and TestBenchJSON all sweep this list, and the registry
+// round-trip test enforces it both ways (every parameterized structure has
+// variants; every variant names a live structure), so the recorded perf
+// surface can't silently narrow back to defaults when the zoo changes.
+var variantSpecs = map[string][]string{
+	"combining":   {"combining?pending=16", "combining?pending=4096"},
+	"funnel":      {"funnel?width=4&depth=3&spin=8", "funnel?width=8&depth=3"},
+	"network":     {"network?width=4", "network?width=16"},
+	"diffracting": {"diffracting?leaves=4&spin=4", "diffracting?leaves=16"},
+	"sharded":     {"sharded?shards=2&batch=8", "sharded?shards=16&batch=256"},
+}
+
+// VariantSpecs returns the canonical non-default spec strings for each
+// parameterized structure, keyed by registry name. The map is a copy;
+// mutating it does not affect the canonical set.
+func VariantSpecs() map[string][]string {
+	out := make(map[string][]string, len(variantSpecs))
+	for name, specs := range variantSpecs {
+		out[name] = append([]string(nil), specs...)
+	}
+	return out
+}
+
+// requireAtLeast1 rejects parameters the spec set explicitly to a value
+// below 1. The constructors treat 0 as "use the default", so without this
+// check an explicit funnel?spin=0 would silently run at spin=32 — the
+// opposite of the spec contract (mistyped values fail loudly, never
+// silently defaulted).
+func requireAtLeast1(o *countq.Options, keys ...string) error {
+	for _, k := range keys {
+		if _, set := o.Lookup(k); set && o.Int64(k, 1) < 1 {
+			v, _ := o.Lookup(k)
+			return fmt.Errorf("shm: param %s=%s must be ≥ 1 (omit it for the default)", k, v)
+		}
+	}
+	return o.Err()
+}
 
 // The shared-memory zoo registers itself with the public countq registry,
 // database/sql style: importing this package (even blank) makes every
-// implementation constructible by name, and new entries added here show up
-// automatically in cmd/countq's listing, core's E11 experiment, and the
-// top-level benchmarks.
+// implementation constructible by spec — "name" for the declared defaults,
+// "name?param=value&…" to tune the knobs that control its coordination
+// cost — and new entries added here show up automatically in cmd/countq's
+// listing, core's E11 experiment, and the top-level benchmarks. Every
+// tunable is declared as a ParamInfo, so unknown spec keys are rejected
+// and `countq list -v` self-documents the zoo.
 func init() {
 	countq.RegisterCounter(countq.CounterInfo{
 		Name:         "atomic",
 		Summary:      "hardware fetch-and-increment on one shared word",
 		Linearizable: true,
-		New:          func() (countq.Counter, error) { return NewAtomicCounter(), nil },
+		New: func(o countq.Options) (countq.Counter, error) {
+			return NewAtomicCounter(), nil
+		},
 	})
 	countq.RegisterCounter(countq.CounterInfo{
 		Name:         "mutex",
 		Summary:      "increments serialized behind a single mutex",
 		Linearizable: true,
-		New:          func() (countq.Counter, error) { return NewMutexCounter(), nil },
+		New: func(o countq.Options) (countq.Counter, error) {
+			return NewMutexCounter(), nil
+		},
 	})
 	countq.RegisterCounter(countq.CounterInfo{
 		Name:         "combining",
 		Summary:      "flat combiner: one caller applies the whole pending batch",
 		Linearizable: true,
-		New:          func() (countq.Counter, error) { return NewCombiningCounter(1024), nil },
+		Params: []countq.ParamInfo{
+			{Name: "pending", Default: "1024", Doc: "publication queue capacity (max simultaneous publishers absorbed)"},
+		},
+		New: func(o countq.Options) (countq.Counter, error) {
+			pending := o.Int("pending", 1024)
+			if err := requireAtLeast1(&o, "pending"); err != nil {
+				return nil, err
+			}
+			return NewCombiningCounter(pending), nil
+		},
 	})
 	countq.RegisterCounter(countq.CounterInfo{
 		Name:         "funnel",
 		Summary:      "combining funnel: rendezvous layers batch increments into one fetch-and-add",
 		Linearizable: true,
-		New:          func() (countq.Counter, error) { return NewFunnelCounter(0, 0, 0) },
+		Params: []countq.ParamInfo{
+			{Name: "width", Default: "GOMAXPROCS/2", Doc: "top layer's rendezvous slot count (each deeper layer halves it)"},
+			{Name: "depth", Default: "2", Doc: "number of rendezvous layers"},
+			{Name: "spin", Default: "32", Doc: "how long an operation waits in a slot for a partner"},
+		},
+		New: func(o countq.Options) (countq.Counter, error) {
+			width := o.Int("width", 0)
+			depth := o.Int("depth", 0)
+			spin := o.Int("spin", 0)
+			if err := requireAtLeast1(&o, "width", "depth", "spin"); err != nil {
+				return nil, err
+			}
+			return NewFunnelCounter(width, depth, spin)
+		},
 	})
 	countq.RegisterCounter(countq.CounterInfo{
 		Name:         "network",
-		Summary:      "bitonic counting network (w=8) with per-balancer locks",
+		Summary:      "bitonic counting network with per-balancer locks",
 		Linearizable: false,
-		New:          func() (countq.Counter, error) { return NewNetworkCounter(8) },
+		Params: []countq.ParamInfo{
+			{Name: "width", Default: "8", Doc: "network width (wires; a power of two) — Θ(log² w) balancers per count"},
+		},
+		New: func(o countq.Options) (countq.Counter, error) {
+			width := o.Int("width", 8)
+			if err := o.Err(); err != nil {
+				return nil, err
+			}
+			return NewNetworkCounter(width)
+		},
 	})
 	countq.RegisterCounter(countq.CounterInfo{
 		Name:         "diffracting",
-		Summary:      "diffracting tree (L=8): paired tokens bypass the toggles",
+		Summary:      "diffracting tree: paired tokens bypass the toggles",
 		Linearizable: false,
-		New:          func() (countq.Counter, error) { return NewDiffractingCounter(8, 0) },
+		Params: []countq.ParamInfo{
+			{Name: "leaves", Default: "8", Doc: "leaf count (a power of two); each leaf owns a counter stripe"},
+			{Name: "spin", Default: "16", Doc: "how long a token waits at a prism for a diffraction partner"},
+		},
+		New: func(o countq.Options) (countq.Counter, error) {
+			leaves := o.Int("leaves", 8)
+			spin := o.Int("spin", 0)
+			if err := requireAtLeast1(&o, "leaves", "spin"); err != nil {
+				return nil, err
+			}
+			return NewDiffractingCounter(leaves, spin)
+		},
 	})
 	countq.RegisterCounter(countq.CounterInfo{
 		Name:         "sharded",
 		Summary:      "per-P shards leasing count blocks, reconciled on demand",
 		Linearizable: false,
-		New:          func() (countq.Counter, error) { return NewShardedCounter(0, 0) },
+		Params: []countq.ParamInfo{
+			{Name: "shards", Default: "GOMAXPROCS", Doc: "number of shards, each leasing count blocks independently"},
+			{Name: "batch", Default: "64", Doc: "counts leased from the global high-water mark per refill"},
+		},
+		New: func(o countq.Options) (countq.Counter, error) {
+			shards := o.Int("shards", 0)
+			batch := o.Int64("batch", 0)
+			if err := requireAtLeast1(&o, "shards", "batch"); err != nil {
+				return nil, err
+			}
+			return NewShardedCounter(shards, batch)
+		},
 	})
 
 	countq.RegisterQueue(countq.QueueInfo{
 		Name:    "swap",
 		Summary: "one atomic swap yields your predecessor (distributed swap)",
-		New:     func() (countq.Queuer, error) { return NewSwapQueue(), nil },
+		New: func(o countq.Options) (countq.Queuer, error) {
+			return NewSwapQueue(), nil
+		},
 	})
 	countq.RegisterQueue(countq.QueueInfo{
 		Name:    "list",
 		Summary: "CLH-style linked nodes installed with a swap",
-		New:     func() (countq.Queuer, error) { return NewListQueue(), nil },
+		New: func(o countq.Options) (countq.Queuer, error) {
+			return NewListQueue(), nil
+		},
 	})
 	countq.RegisterQueue(countq.QueueInfo{
 		Name:    "mutex",
 		Summary: "tail pointer updated under a mutex",
-		New:     func() (countq.Queuer, error) { return NewMutexQueue(), nil },
+		New: func(o countq.Options) (countq.Queuer, error) {
+			return NewMutexQueue(), nil
+		},
 	})
 }

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/countq"
 )
 
 // ShardedCounter spreads increments over per-P shards: each shard leases a
@@ -89,6 +91,55 @@ func (c *ShardedCounter) lease() (lo, hi int64) {
 	c.poolMu.Unlock()
 	hi = c.next.Add(c.batch) + 1
 	return hi - c.batch, hi
+}
+
+// IncN implements countq.BatchIncrementer: it leases the n consecutive
+// counts first..first+n-1 straight off the global high-water mark — one
+// fetch-and-add for the whole block, bypassing the shards entirely. The
+// grant is the caller's to account for; it is never pooled or reissued,
+// so handed-out singles ∪ granted blocks ∪ drained remainders still tile
+// 1..max exactly.
+func (c *ShardedCounter) IncN(n int64) int64 {
+	if n < 1 {
+		panic(fmt.Sprintf("shm: sharded IncN(%d), want n ≥ 1", n))
+	}
+	return c.next.Add(n) - n + 1
+}
+
+// NewHandle implements countq.HandleMaker: the handle makes the per-worker
+// lease explicit. Where Inc pays a sync.Pool lookup and a shard mutex per
+// operation, a handle holds its own private lease and refills it from the
+// shared structure only once per batch — the uncontended fast path is a
+// plain increment. The handle is owned by one goroutine; Close returns the
+// unused lease remainder to the shared free pool so Drain still closes the
+// range.
+func (c *ShardedCounter) NewHandle() countq.CounterHandle {
+	return &shardedHandle{c: c}
+}
+
+type shardedHandle struct {
+	c      *ShardedCounter
+	lo, hi int64 // private lease: counts [lo, hi) remain
+}
+
+// Inc implements countq.CounterHandle.
+func (h *shardedHandle) Inc() int64 {
+	if h.lo == h.hi {
+		h.lo, h.hi = h.c.lease()
+	}
+	v := h.lo
+	h.lo++
+	return v
+}
+
+// Close implements countq.CounterHandle, surrendering the lease remainder.
+func (h *shardedHandle) Close() {
+	if h.lo < h.hi {
+		h.c.poolMu.Lock()
+		h.c.free = append(h.c.free, countRange{h.lo, h.hi})
+		h.c.poolMu.Unlock()
+	}
+	h.lo, h.hi = 0, 0
 }
 
 // Reconcile moves every shard's unused lease remainder into the shared

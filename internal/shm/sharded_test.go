@@ -3,6 +3,8 @@ package shm
 import (
 	"sync"
 	"testing"
+
+	"repro/countq"
 )
 
 // shardedAll runs goroutines×opsPerG increments and returns the handed-out
@@ -116,6 +118,113 @@ func TestShardedCounterRejectsBadBatch(t *testing.T) {
 	if _, err := NewShardedCounter(2, -3); err == nil {
 		t.Error("negative batch accepted")
 	}
+}
+
+// TestShardedCounterHandles exercises the explicit per-worker lease path
+// (countq.HandleMaker) under -race: every worker Incs through its own
+// handle, Close surrenders the remainders, and handed ∪ drained must tile
+// 1..max exactly.
+func TestShardedCounterHandles(t *testing.T) {
+	c, err := NewShardedCounter(4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, opsPerG = 8, 501 // odd count forces partial leases
+	results := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			h := c.NewHandle()
+			defer h.Close()
+			vals := make([]int64, opsPerG)
+			for i := range vals {
+				vals[i] = h.Inc()
+			}
+			results[gi] = vals
+		}(gi)
+	}
+	wg.Wait()
+	var all []int64
+	for _, vs := range results {
+		all = append(all, vs...)
+	}
+	if len(all) != goroutines*opsPerG {
+		t.Fatalf("%d counts handed out", len(all))
+	}
+	if err := ValidateCounts(append(all, c.Drain()...)); err != nil {
+		t.Errorf("handles: %v", err)
+	}
+}
+
+// TestShardedCounterHandlesMixed runs handle holders, plain Inc callers
+// and IncN batchers concurrently: all three allocation paths share one
+// high-water mark and must still jointly tile 1..max.
+func TestShardedCounterHandlesMixed(t *testing.T) {
+	c, err := NewShardedCounter(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		singles []int64
+		blocks  []countq.CountRange
+	)
+	for gi := 0; gi < 9; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			var mine []int64
+			var myBlocks []countq.CountRange
+			switch gi % 3 {
+			case 0: // handle path
+				h := c.NewHandle()
+				defer h.Close()
+				for i := 0; i < 400; i++ {
+					mine = append(mine, h.Inc())
+				}
+			case 1: // plain shard path
+				for i := 0; i < 400; i++ {
+					mine = append(mine, c.Inc())
+				}
+			case 2: // batch path
+				for i := 0; i < 40; i++ {
+					myBlocks = append(myBlocks, countq.CountRange{First: c.IncN(10), N: 10})
+				}
+			}
+			mu.Lock()
+			singles = append(singles, mine...)
+			blocks = append(blocks, myBlocks...)
+			mu.Unlock()
+		}(gi)
+	}
+	wg.Wait()
+	if err := countq.ValidateCountRanges(append(singles, c.Drain()...), blocks); err != nil {
+		t.Errorf("mixed allocation paths: %v", err)
+	}
+}
+
+func TestShardedCounterIncN(t *testing.T) {
+	c, err := NewShardedCounter(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := c.IncN(5)
+	if first != 1 {
+		t.Errorf("first block starts at %d, want 1", first)
+	}
+	second := c.IncN(3)
+	if second != 6 {
+		t.Errorf("second block starts at %d, want 6", second)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IncN(0) did not panic")
+		}
+	}()
+	c.IncN(0)
 }
 
 func TestFunnelCounterValidates(t *testing.T) {
