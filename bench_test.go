@@ -318,11 +318,14 @@ func BenchmarkShmQueuers(b *testing.B) {
 // --- Machine-readable perf trajectory. -------------------------------------
 
 // benchJSON, when set, makes TestBenchJSON sweep every registered counter
-// and queuer — at defaults, over the declared tunables (tunableSpecs), and
-// through the IncN batching path — through the countq workload driver and
-// write the validated measurements as JSON (e.g. BENCH_2026_07.json), so
-// successive PRs can track a perf *surface* over the coordination knobs
-// without scraping go-bench text output:
+// and queuer — at defaults, over the declared tunables (tunableSpecs),
+// through the IncN batching path, and through the canonical `ramp`
+// scenario — via the countq scenario engine and write the validated
+// Metrics as JSON (e.g. BENCH_2026_07.json). Each record carries latency
+// quantiles (p50/p90/p99/p999/max) per op kind, a windowed throughput
+// timeline, and per-phase worker fairness, so successive PRs track a
+// *tail-latency surface* over the coordination knobs and contention
+// levels, not a single mean:
 //
 //	go test -run TestBenchJSON -benchjson BENCH_now.json .
 //
@@ -337,23 +340,34 @@ func TestBenchJSON(t *testing.T) {
 		t.Skip("no -benchjson output path given")
 	}
 	type sweep struct {
-		GoMaxProcs int              `json:"gomaxprocs"`
-		Ops        int              `json:"ops_per_run"`
-		Results    []*countq.Result `json:"results"`
+		GoMaxProcs int               `json:"gomaxprocs"`
+		Ops        int               `json:"ops_per_run"`
+		Results    []*countq.Metrics `json:"results"`
 	}
 	ops := *benchOps
 	out := sweep{GoMaxProcs: runtime.GOMAXPROCS(0), Ops: ops}
 	run := func(w countq.Workload) {
 		t.Helper()
 		w.Ops, w.Seed = ops, 1
-		res, err := countq.Run(w)
+		m, err := countq.Run(w)
 		if err != nil {
-			t.Fatalf("%s%s: %v", w.Counter, w.Queue, err)
+			t.Fatalf("%s%s %s: %v", w.Counter, w.Queue, w.Scenario, err)
 		}
-		out.Results = append(out.Results, res)
+		if m.Aggregate.CounterLat == nil && m.Aggregate.QueueLat == nil {
+			t.Fatalf("%s%s %s: no latency distribution recorded", w.Counter, w.Queue, w.Scenario)
+		}
+		out.Results = append(out.Results, m)
 	}
+	// The ramp ceiling caps at 8 so the recorded surface is comparable
+	// across machines with different core counts.
+	gmax := runtime.GOMAXPROCS(0)
+	if gmax > 8 {
+		gmax = 8
+	}
+	ramp := fmt.Sprintf("ramp?gmax=%d", gmax)
 	for _, info := range countq.Counters() {
 		run(countq.Workload{Counter: info.Name})
+		run(countq.Workload{Counter: info.Name, Scenario: ramp, Goroutines: gmax})
 		for _, spec := range tunableSpecs[info.Name] {
 			run(countq.Workload{Counter: spec})
 		}
@@ -365,6 +379,7 @@ func TestBenchJSON(t *testing.T) {
 	}
 	for _, info := range countq.Queues() {
 		run(countq.Workload{Queue: info.Name})
+		run(countq.Workload{Queue: info.Name, Scenario: ramp, Goroutines: gmax})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

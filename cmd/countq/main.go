@@ -5,20 +5,25 @@
 // Usage:
 //
 //	countq list [-v]            # list experiments and registered protocols (-v: declared params)
+//	countq scenarios [-v]       # list registered workload scenarios (-v: declared params)
 //	countq run E1 E6 ...        # run selected experiments
 //	countq run all              # run the full suite
 //	countq compare -topo mesh2d -n 256
 //	countq drive -counter 'sharded?shards=4&batch=16' -queue swap -g 8 -ops 100000
+//	countq drive -counter sharded -scenario 'ramp?gmax=16' -json
 //	countq drive -counter sharded -sweep batch=16,64,256,1024
 //
-// Structures are named by spec: a bare registry name constructs the
-// declared defaults, "name?param=value&..." tunes the declared parameters
-// (list -v prints them). -sweep varies one counter parameter over a list
-// of values and reports one line (or JSON record) per configuration.
+// Structures and scenarios are named by spec: a bare registry name
+// constructs the declared defaults, "name?param=value&..." tunes the
+// declared parameters (list -v and scenarios -v print them). -scenario
+// runs the workload as the named phase sequence and reports per-phase
+// metrics — latency quantiles, a throughput timeline, worker fairness.
+// -sweep varies one counter parameter over a list of values and reports
+// one line (or JSON record) per configuration.
 //
-// Experiments and protocols both come from registries (internal/core's
-// spec registry and the public repro/countq registry), so new entries
-// appear here without touching this command.
+// Experiments, protocols and scenarios all come from registries
+// (internal/core's spec registry and the public repro/countq registries),
+// so new entries appear here without touching this command.
 //
 // Flags for run: -quick (small sizes), -seed N (workload seed).
 package main
@@ -46,6 +51,8 @@ func main() {
 	switch os.Args[1] {
 	case "list":
 		listArgs(os.Args[2:])
+	case "scenarios":
+		scenariosArgs(os.Args[2:])
 	case "run":
 		runCmd(os.Args[2:])
 	case "compare":
@@ -61,7 +68,29 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: countq {list [-v] | run [-quick] [-seed N] <ids...|all> | compare [-topo T] [-n N] | trace [-n N] [-reqs K] | drive [-counter SPEC] [-queue SPEC] [-g N] [-ops N] [-dur D] [-mix F] [-batch N] [-sample K] [-arrival A] [-seed N] [-sweep P=V1,V2,...] [-json]}")
+	fmt.Fprintln(os.Stderr, "usage: countq {list [-v] | scenarios [-v] | run [-quick] [-seed N] <ids...|all> | compare [-topo T] [-n N] | trace [-n N] [-reqs K] | drive [-counter SPEC] [-queue SPEC] [-scenario SPEC] [-g N] [-ops N] [-dur D] [-mix F] [-batch N] [-sample K] [-arrival A] [-seed N] [-sweep P=V1,V2,...] [-json]}")
+}
+
+// scenariosArgs parses the scenarios flags and prints the listing.
+func scenariosArgs(args []string) {
+	fs := flag.NewFlagSet("scenarios", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "also print each scenario's declared parameters")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	scenariosCmd(os.Stdout, *verbose)
+}
+
+// scenariosCmd prints the scenario registry; like the structure listing,
+// every line comes from registry declarations, never a hand-kept roster.
+func scenariosCmd(w io.Writer, verbose bool) {
+	fmt.Fprintln(w, "scenarios (countq registry):")
+	for _, info := range countq.Scenarios() {
+		fmt.Fprintf(w, "  %-12s %s\n", info.Name, info.Summary)
+		if verbose {
+			listParams(w, info.Params)
+		}
+	}
 }
 
 // listArgs parses the list flags and prints the listing.
@@ -109,24 +138,25 @@ func listParams(w io.Writer, params []countq.ParamInfo) {
 	}
 }
 
-// driveCmd runs the mixed counting/queuing workload driver over any
-// registered protocol pair, named by spec ("sharded?shards=4&batch=16").
-// With -sweep it varies one counter parameter over a list of values and
-// reports one configuration per line.
+// driveCmd runs the workload driver — one steady phase or a registered
+// scenario's phase sequence — over any registered protocol pair, named by
+// spec ("sharded?shards=4&batch=16"). With -sweep it varies one counter
+// parameter over a list of values and reports one configuration per line.
 func driveCmd(args []string) {
 	fs := flag.NewFlagSet("drive", flag.ExitOnError)
 	counter := fs.String("counter", "atomic", "counter spec, e.g. 'sharded?shards=4&batch=16' (empty for a pure queue workload)")
 	queue := fs.String("queue", "swap", "queue spec (empty for a pure counter workload)")
-	g := fs.Int("g", 0, "goroutines (0 = GOMAXPROCS)")
-	ops := fs.Int("ops", 1<<17, "total operation budget")
+	scenario := fs.String("scenario", "", "scenario spec, e.g. 'ramp?gmax=16' (empty for one steady phase; see countq scenarios)")
+	g := fs.Int("g", 0, "goroutines (0 = GOMAXPROCS); scenarios treat this as the contention ceiling")
+	ops := fs.Int("ops", 1<<17, "total operation budget (scenarios split it across phases)")
 	dur := fs.Duration("dur", 0, "run for a duration instead of an ops budget")
 	mix := fs.Float64("mix", 0.5, "fraction of operations that count (the rest enqueue; 0 = pure queue)")
-	batch := fs.Int("batch", 0, "issue counter ops as IncN block grants of this size (counters that support it)")
+	batch := fs.Int("batch", 0, "issue counter ops as IncN block grants of this size (requires a BatchIncrementer counter)")
 	sample := fs.Int("sample", 0, "time every Kth operation for per-op latency (0 = default 64)")
 	arrival := fs.String("arrival", "closed", "arrival pattern: closed|uniform|bursty")
 	seed := fs.Int64("seed", 1, "workload seed")
 	sweep := fs.String("sweep", "", "sweep one counter param over values, e.g. 'batch=16,64,256'")
-	asJSON := fs.Bool("json", false, "emit the result(s) as JSON")
+	asJSON := fs.Bool("json", false, "emit the full metrics as JSON")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -138,6 +168,7 @@ func driveCmd(args []string) {
 	w := countq.Workload{
 		Counter:       *counter,
 		Queue:         *queue,
+		Scenario:      *scenario,
 		Goroutines:    *g,
 		Ops:           *ops,
 		Mix:           *mix,
@@ -155,17 +186,21 @@ func driveCmd(args []string) {
 			fmt.Fprintln(os.Stderr, "countq drive:", err)
 			os.Exit(2)
 		}
-		var results []*countq.Result
+		var results []*countq.Metrics
 		for _, spec := range specs {
 			w.Counter = spec
-			res, err := countq.Run(w)
+			m, err := countq.Run(w)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "countq drive:", err)
 				os.Exit(1)
 			}
-			results = append(results, res)
+			results = append(results, m)
 			if !*asJSON {
-				fmt.Printf("%-40s %10.1f ns/op counting %10.1f ns/op overall\n", res.Counter, res.CounterNs, res.NsPerOp())
+				line := fmt.Sprintf("%-40s %10.1f ns/op overall", m.Counter, m.NsPerOp())
+				if l := m.Aggregate.CounterLat; l != nil {
+					line += fmt.Sprintf("   counting p50 %8.1f  p99 %8.1f", l.P50Ns, l.P99Ns)
+				}
+				fmt.Println(line)
 			}
 		}
 		if *asJSON {
@@ -173,29 +208,83 @@ func driveCmd(args []string) {
 		}
 		return
 	}
-	res, err := countq.Run(w)
+	m, err := countq.Run(w)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "countq drive:", err)
 		os.Exit(1)
 	}
 	if *asJSON {
-		printJSON(res)
+		printJSON(m)
 		return
 	}
-	fmt.Printf("counter=%s queue=%s arrival=%s goroutines=%d\n", res.Counter, res.Queue, res.Arrival, res.Goroutines)
-	fmt.Printf("ops=%d (count %d, enqueue %d) in %v — %.1f ns/op overall\n",
-		res.Ops, res.CounterOps, res.QueueOps, res.Elapsed.Round(time.Microsecond), res.NsPerOp())
-	if res.CounterOps > 0 {
-		fmt.Printf("counting: %.1f ns/op", res.CounterNs)
-		if res.Batch > 1 {
-			fmt.Printf(" (IncN blocks of %d)", res.Batch)
+	printMetrics(os.Stdout, m)
+}
+
+// printMetrics renders a run's metrics as the human-readable per-phase
+// table: latency quantiles per op kind, throughput, and worker fairness,
+// then the aggregate over the measured phases.
+func printMetrics(w io.Writer, m *countq.Metrics) {
+	head := fmt.Sprintf("counter=%s queue=%s", m.Counter, m.Queue)
+	if m.Scenario != "" {
+		head += " scenario=" + m.Scenario
+	}
+	fmt.Fprintf(w, "%s goroutines=%d seed=%d elapsed=%v\n", head, m.Goroutines, m.Seed, m.Elapsed.Round(time.Microsecond))
+	fmt.Fprintf(w, "%-12s %5s %5s %8s %9s %10s  %-30s %-30s %5s\n",
+		"phase", "g", "mix", "ops", "ns/op", "Mops/s", "counting p50/p99/p999", "queuing p50/p99/p999", "fair")
+	row := func(name string, g int, mix string, ops int, nsPerOp, mopsPerSec float64, cl, ql *countq.LatencyStats, fair string) {
+		fmt.Fprintf(w, "%-12s %5d %5s %8d %9.1f %10.2f  %-30s %-30s %5s\n",
+			name, g, mix, ops, nsPerOp, mopsPerSec, latCell(cl), latCell(ql), fair)
+	}
+	for i := range m.Phases {
+		p := &m.Phases[i]
+		name := p.Name
+		if p.Warmup {
+			name += "*"
 		}
-		fmt.Println()
+		tput := 0.0
+		if p.Elapsed > 0 {
+			tput = float64(p.Ops) / p.Elapsed.Seconds() / 1e6
+		}
+		row(name, p.Goroutines, fmt.Sprintf("%.2f", p.Mix), p.Ops, p.NsPerOp(), tput, p.CounterLat, p.QueueLat, fmt.Sprintf("%.2f", p.Fairness))
 	}
-	if res.QueueOps > 0 {
-		fmt.Printf("queuing:  %.1f ns/op\n", res.QueueNs)
+	a := &m.Aggregate
+	tput := 0.0
+	if a.Elapsed > 0 {
+		tput = float64(a.Ops) / a.Elapsed.Seconds() / 1e6
 	}
-	fmt.Println("validated: counts distinct and gap-free, predecessors form one total order")
+	row("aggregate", m.Goroutines, "", a.Ops, a.NsPerOp(), tput, a.CounterLat, a.QueueLat, fmt.Sprintf("%.2f", a.Fairness))
+	if len(a.Timeline) > 1 {
+		fmt.Fprintf(w, "throughput timeline (Mops/s): %s\n", timelineCells(a.Timeline))
+	}
+	for i := range m.Phases {
+		if m.Phases[i].Warmup {
+			fmt.Fprintln(w, "(*) warmup phase, excluded from the aggregate")
+			break
+		}
+	}
+	fmt.Fprintln(w, "validated: counts distinct and gap-free, predecessors form one total order")
+}
+
+// latCell renders one op kind's latency quantiles, or "-" when the run
+// had no operations of that kind.
+func latCell(l *countq.LatencyStats) string {
+	if l == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f/%.0f/%.0f ns", l.P50Ns, l.P99Ns, l.P999Ns)
+}
+
+// timelineCells renders the aggregate throughput timeline as one number
+// per window.
+func timelineCells(tl []countq.Window) string {
+	var b strings.Builder
+	for i, win := range tl {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.2f", win.OpsPerSec()/1e6)
+	}
+	return b.String()
 }
 
 // sweepSpecs expands a base counter spec and a "param=v1,v2,..." sweep

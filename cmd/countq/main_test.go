@@ -68,8 +68,8 @@ func TestDriveRegistryResolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Ops != 2000 {
-		t.Errorf("ops = %d, want 2000", res.Ops)
+	if res.Aggregate.Ops != 2000 {
+		t.Errorf("ops = %d, want 2000", res.Aggregate.Ops)
 	}
 	res, err = countq.Run(countq.Workload{
 		Counter: "sharded?shards=4&batch=16", Queue: "swap",
@@ -80,6 +80,63 @@ func TestDriveRegistryResolution(t *testing.T) {
 	}
 	if res.Counter != "sharded?shards=4&batch=16" {
 		t.Errorf("result spec = %q", res.Counter)
+	}
+}
+
+// TestScenariosListIsRegistryDriven checks that the scenario listing is
+// generated from the scenario registry — every canonical scenario appears,
+// and -v prints every declared parameter.
+func TestScenariosListIsRegistryDriven(t *testing.T) {
+	var b strings.Builder
+	scenariosCmd(&b, false)
+	out := b.String()
+	for _, want := range []string{"steady", "ramp", "spike", "mixshift", "batched"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenarios output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "default") {
+		t.Error("non-verbose scenarios listing leaks param documentation")
+	}
+	var v strings.Builder
+	scenariosCmd(&v, true)
+	for _, info := range countq.Scenarios() {
+		for _, p := range info.Params {
+			if !strings.Contains(v.String(), p.Name) || !strings.Contains(v.String(), p.Doc) {
+				t.Errorf("verbose scenarios missing declared param %s.%s", info.Name, p.Name)
+			}
+		}
+	}
+}
+
+// TestDriveScenarioMetrics runs the acceptance-criteria path — drive with
+// a scenario — and checks the rendered table carries the per-phase
+// quantities (quantiles, fairness, warmup marker) the engine produces.
+func TestDriveScenarioMetrics(t *testing.T) {
+	m, err := countq.Run(countq.Workload{
+		Counter: "sharded", Queue: "swap", Scenario: "ramp?gmax=4",
+		Goroutines: 4, Ops: 4000, Mix: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	printMetrics(&b, m)
+	out := b.String()
+	for _, want := range []string{"scenario=ramp?gmax=4", "g=1", "g=2", "g=4", "aggregate", "fair", "p50/p99", "validated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics table missing %q in:\n%s", want, out)
+		}
+	}
+	// Warmup phases are flagged and footnoted.
+	m, err = countq.Run(countq.Workload{Counter: "atomic", Scenario: "steady", Ops: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	printMetrics(&b, m)
+	if !strings.Contains(b.String(), "warmup*") || !strings.Contains(b.String(), "excluded from the aggregate") {
+		t.Errorf("warmup marker missing in:\n%s", b.String())
 	}
 }
 

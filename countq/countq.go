@@ -5,9 +5,12 @@
 // It defines the Counter and Queuer interfaces, a spec-keyed registry of
 // self-registering implementations (the shared-memory structures in
 // internal/shm register themselves on import, in the manner of
-// database/sql drivers), and a configurable mixed-workload driver that
-// runs any registered counter/queuer pair under a chosen operation mix,
-// arrival pattern, goroutine count and ops budget — the paper's
+// database/sql drivers), and a phased scenario engine that runs any
+// registered counter/queuer pair under a chosen operation mix, arrival
+// pattern, goroutine count and ops budget — as one steady phase, or as a
+// named Scenario: a self-registering sequence of Phases that ramps
+// goroutines, alternates arrival bursts, shifts the operation mix, or
+// toggles batching while the structures persist. The paper's
 // counting-versus-queuing contrast as one function call.
 //
 // Structures are constructed from specs: a bare registry name builds the
@@ -27,14 +30,20 @@
 //	c, err := countq.NewCounter("sharded?shards=4&batch=16")
 //	q, err := countq.NewQueue("swap")
 //
-//	res, err := countq.Run(countq.Workload{
+//	m, err := countq.Run(countq.Workload{
 //		Counter:    "sharded?shards=4&batch=16",
 //		Queue:      "swap",
+//		Scenario:   "ramp?gmax=8", // phased: contention doubles 1 → 8
 //		Goroutines: 8,
 //		Ops:        100000,
 //		Mix:        0.5,
-//		Arrival:    countq.Bursty,
 //	})
+//
+// Run reports structured Metrics rather than a flat average: per-phase
+// and aggregate latency histograms with p50/p90/p99/p999/max per op kind,
+// a windowed throughput timeline, and per-worker op counts with the
+// fairness ratio they imply — because quiescently consistent counters
+// look fine on means and give themselves away in the tail.
 //
 // Counters may additionally implement two capability interfaces the
 // driver exploits when present: HandleMaker (per-goroutine handles with an

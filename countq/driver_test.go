@@ -1,6 +1,7 @@
 package countq
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -20,18 +21,22 @@ func TestDriverMixedWorkload(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", arrival, err)
 		}
-		if res.Ops != 4000 {
-			t.Errorf("%v: ops = %d, want 4000", arrival, res.Ops)
+		agg := res.Aggregate
+		if agg.Ops != 4000 {
+			t.Errorf("%v: ops = %d, want 4000", arrival, agg.Ops)
 		}
-		if res.CounterOps+res.QueueOps != res.Ops {
-			t.Errorf("%v: op split %d+%d != %d", arrival, res.CounterOps, res.QueueOps, res.Ops)
+		if agg.CounterOps+agg.QueueOps != agg.Ops {
+			t.Errorf("%v: op split %d+%d != %d", arrival, agg.CounterOps, agg.QueueOps, agg.Ops)
 		}
 		// A 50/50 mix over 4000 draws should not be wildly lopsided.
-		if res.CounterOps < 1000 || res.QueueOps < 1000 {
-			t.Errorf("%v: mix lopsided: %d counter, %d queue", arrival, res.CounterOps, res.QueueOps)
+		if agg.CounterOps < 1000 || agg.QueueOps < 1000 {
+			t.Errorf("%v: mix lopsided: %d counter, %d queue", arrival, agg.CounterOps, agg.QueueOps)
 		}
-		if res.Arrival != arrival.String() {
-			t.Errorf("arrival = %q, want %q", res.Arrival, arrival)
+		if len(res.Phases) != 1 {
+			t.Fatalf("%v: flat run has %d phases, want 1", arrival, len(res.Phases))
+		}
+		if res.Phases[0].Arrival != arrival.String() {
+			t.Errorf("arrival = %q, want %q", res.Phases[0].Arrival, arrival)
 		}
 		if res.NsPerOp() <= 0 {
 			t.Errorf("%v: ns/op = %v", arrival, res.NsPerOp())
@@ -45,15 +50,15 @@ func TestDriverPureWorkloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.CounterOps != 500 || res.QueueOps != 0 {
-		t.Errorf("pure counter split: %d/%d", res.CounterOps, res.QueueOps)
+	if res.Aggregate.CounterOps != 500 || res.Aggregate.QueueOps != 0 {
+		t.Errorf("pure counter split: %d/%d", res.Aggregate.CounterOps, res.Aggregate.QueueOps)
 	}
 	res, err = Run(Workload{Queue: "test-queue", Goroutines: 2, Ops: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.QueueOps != 500 || res.CounterOps != 0 {
-		t.Errorf("pure queue split: %d/%d", res.CounterOps, res.QueueOps)
+	if res.Aggregate.QueueOps != 500 || res.Aggregate.CounterOps != 0 {
+		t.Errorf("pure queue split: %d/%d", res.Aggregate.CounterOps, res.Aggregate.QueueOps)
 	}
 	// Mix means what it says: the zero value with both structures set is a
 	// pure-queue run — no silent 50/50, no escape-hatch field.
@@ -61,16 +66,16 @@ func TestDriverPureWorkloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.QueueOps != 300 || res.CounterOps != 0 {
-		t.Errorf("zero Mix split: %d/%d, want pure queue", res.CounterOps, res.QueueOps)
+	if res.Aggregate.QueueOps != 300 || res.Aggregate.CounterOps != 0 {
+		t.Errorf("zero Mix split: %d/%d, want pure queue", res.Aggregate.CounterOps, res.Aggregate.QueueOps)
 	}
 	// And Mix 1 with both set is a pure-counter run.
 	res, err = Run(Workload{Counter: "test-alpha", Queue: "test-queue", Mix: 1, Ops: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.CounterOps != 300 || res.QueueOps != 0 {
-		t.Errorf("Mix=1 split: %d/%d, want pure counter", res.CounterOps, res.QueueOps)
+	if res.Aggregate.CounterOps != 300 || res.Aggregate.QueueOps != 0 {
+		t.Errorf("Mix=1 split: %d/%d, want pure counter", res.Aggregate.CounterOps, res.Aggregate.QueueOps)
 	}
 }
 
@@ -100,19 +105,19 @@ func TestDriverBatchGrants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.CounterOps != 4096 {
-		t.Errorf("batched counter ops = %d, want 4096", res.CounterOps)
+	if res.Aggregate.CounterOps != 4096 {
+		t.Errorf("batched counter ops = %d, want 4096", res.Aggregate.CounterOps)
 	}
-	if res.Batch != 64 {
-		t.Errorf("result batch = %d, want 64", res.Batch)
+	if res.Phases[0].Batch != 64 {
+		t.Errorf("result batch = %d, want 64", res.Phases[0].Batch)
 	}
 	// An uneven budget forces a short final block per goroutine.
 	res, err = Run(Workload{Counter: "test-batch", Goroutines: 3, Ops: 1000, Batch: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.CounterOps != 1000 {
-		t.Errorf("uneven batched ops = %d, want 1000", res.CounterOps)
+	if res.Aggregate.CounterOps != 1000 {
+		t.Errorf("uneven batched ops = %d, want 1000", res.Aggregate.CounterOps)
 	}
 	// Mix still means the fraction of operations when batching: block
 	// draws are down-weighted so a 50/50 mix stays near 50/50 in ops.
@@ -123,20 +128,23 @@ func TestDriverBatchGrants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frac := float64(res.CounterOps) / float64(res.Ops)
+	frac := float64(res.Aggregate.CounterOps) / float64(res.Aggregate.Ops)
 	if frac < 0.3 || frac > 0.7 {
-		t.Errorf("batched mix drifted: counter fraction %.2f (split %d/%d)", frac, res.CounterOps, res.QueueOps)
+		t.Errorf("batched mix drifted: counter fraction %.2f (split %d/%d)", frac, res.Aggregate.CounterOps, res.Aggregate.QueueOps)
 	}
-	// Batch on a counter without the capability falls back to single Incs.
-	res, err = Run(Workload{Counter: "test-alpha", Ops: 200, Batch: 64})
-	if err != nil {
-		t.Fatal(err)
+	// Batch on a counter without the capability is rejected loudly, and
+	// the error names the missing capability.
+	_, err = Run(Workload{Counter: "test-alpha", Ops: 200, Batch: 64})
+	if err == nil {
+		t.Fatal("batch on a non-batching counter accepted")
 	}
-	if res.Batch != 0 {
-		t.Errorf("incapable counter reported batch %d", res.Batch)
+	if !strings.Contains(err.Error(), "BatchIncrementer") {
+		t.Errorf("batch error does not name the missing capability: %v", err)
 	}
-	if res.CounterOps != 200 {
-		t.Errorf("fallback ops = %d, want 200", res.CounterOps)
+	// Batch on a pure-queue run (mix forced to 0) never touches the
+	// counter path and is not an error.
+	if _, err := Run(Workload{Counter: "test-alpha", Queue: "test-queue", Mix: 0, Ops: 200, Batch: 64}); err != nil {
+		t.Errorf("batch on a pure-queue mix rejected: %v", err)
 	}
 }
 
@@ -149,8 +157,8 @@ func TestDriverHandles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.CounterOps != 1002 {
-		t.Errorf("handle ops = %d, want 1002", res.CounterOps)
+	if res.Aggregate.CounterOps != 1002 {
+		t.Errorf("handle ops = %d, want 1002", res.Aggregate.CounterOps)
 	}
 	c := lastHandleCounter.Load()
 	if c == nil {
@@ -161,11 +169,11 @@ func TestDriverHandles(t *testing.T) {
 	}
 }
 
-func TestDriverLatencySampling(t *testing.T) {
+func TestDriverLatencyMetrics(t *testing.T) {
 	registerTestImpls()
-	// With a sampling interval larger than 1 the per-kind latencies still
-	// come out positive (the first op of each kind is always sampled) and
-	// op totals stay exact.
+	// With a sampling interval larger than 1 the per-kind latency
+	// distributions still come out populated (the first op of each kind is
+	// always sampled) and op totals stay exact.
 	res, err := Run(Workload{
 		Counter: "test-alpha", Queue: "test-queue",
 		Goroutines: 2, Ops: 2000, Mix: 0.5, LatencySample: 100, Seed: 1,
@@ -173,19 +181,83 @@ func TestDriverLatencySampling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Ops != 2000 {
-		t.Errorf("sampled run ops = %d, want 2000", res.Ops)
+	if res.Aggregate.Ops != 2000 {
+		t.Errorf("sampled run ops = %d, want 2000", res.Aggregate.Ops)
 	}
-	if res.CounterNs <= 0 || res.QueueNs <= 0 {
-		t.Errorf("sampled latencies not positive: counter %v, queue %v", res.CounterNs, res.QueueNs)
+	cl, ql := res.Aggregate.CounterLat, res.Aggregate.QueueLat
+	if cl == nil || ql == nil {
+		t.Fatalf("sampled latencies missing: counter %v, queue %v", cl, ql)
+	}
+	for _, l := range []*LatencyStats{cl, ql} {
+		if l.Samples <= 0 || l.MeanNs < 0 {
+			t.Errorf("degenerate latency stats: %+v", l)
+		}
+		if l.P50Ns > l.P90Ns || l.P90Ns > l.P99Ns || l.P99Ns > l.P999Ns || l.P999Ns > l.MaxNs {
+			t.Errorf("quantiles not monotone: %+v", l)
+		}
 	}
 	// Sampling every op still works.
 	res, err = Run(Workload{Counter: "test-alpha", Ops: 100, LatencySample: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.CounterNs <= 0 {
-		t.Errorf("per-op sampling latency = %v", res.CounterNs)
+	if got := res.Aggregate.CounterLat.Samples; got != 100 {
+		t.Errorf("per-op sampling covered %d ops, want 100", got)
+	}
+	// A negative sampling interval is rejected, not silently defaulted.
+	if _, err := Run(Workload{Counter: "test-alpha", Ops: 100, LatencySample: -3}); err == nil {
+		t.Error("negative LatencySample accepted")
+	}
+}
+
+func TestDriverTimelineAndFairness(t *testing.T) {
+	registerTestImpls()
+	// A mixed run: the timeline must account for every operation of both
+	// kinds, sampled or not.
+	res, err := Run(Workload{
+		Counter: "test-alpha", Queue: "test-queue",
+		Goroutines: 4, Ops: 20000, Mix: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Phases[0]
+	if len(p.Timeline) == 0 {
+		t.Fatal("no throughput timeline recorded")
+	}
+	var tlOps int64
+	for i, w := range p.Timeline {
+		if w.EndNs <= w.StartNs {
+			t.Errorf("window %d empty span [%d,%d)", i, w.StartNs, w.EndNs)
+		}
+		if i > 0 && w.StartNs != p.Timeline[i-1].EndNs {
+			t.Errorf("window %d not contiguous: starts %d, previous ends %d", i, w.StartNs, p.Timeline[i-1].EndNs)
+		}
+		tlOps += w.Ops
+	}
+	if tlOps != int64(p.Ops) {
+		t.Errorf("timeline accounts for %d ops, phase did %d", tlOps, p.Ops)
+	}
+	if len(p.WorkerOps) != 4 {
+		t.Fatalf("worker op counts = %v, want 4 entries", p.WorkerOps)
+	}
+	var sum int64
+	for _, w := range p.WorkerOps {
+		sum += w
+	}
+	if sum != int64(p.Ops) {
+		t.Errorf("worker ops sum to %d, phase did %d", sum, p.Ops)
+	}
+	if p.Fairness < 0 || p.Fairness > 1 {
+		t.Errorf("fairness %v outside [0,1]", p.Fairness)
+	}
+	// A single worker is trivially fair.
+	res, err = Run(Workload{Counter: "test-alpha", Goroutines: 1, Ops: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases[0].Fairness != 1 {
+		t.Errorf("single-worker fairness = %v, want 1", res.Phases[0].Fairness)
 	}
 }
 
@@ -198,7 +270,7 @@ func TestDriverDurationBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Ops == 0 {
+	if res.Aggregate.Ops == 0 {
 		t.Error("duration-budget run performed no operations")
 	}
 	// A positive Duration replaces the ops budget, per the field doc: a
@@ -215,8 +287,8 @@ func TestDriverDurationBudget(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Errorf("Duration did not replace Ops: run took %v", elapsed)
 	}
-	if res.Ops >= 1<<40 {
-		t.Errorf("run honored Ops (%d) instead of Duration", res.Ops)
+	if res.Aggregate.Ops >= 1<<40 {
+		t.Errorf("run honored Ops (%d) instead of Duration", res.Aggregate.Ops)
 	}
 }
 
@@ -239,6 +311,9 @@ func TestDriverRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := Run(Workload{Counter: "?x=1"}); err == nil {
 		t.Error("nameless spec accepted")
+	}
+	if _, err := Run(Workload{Counter: "test-alpha", Batch: -2, Queue: "test-queue", Mix: 0.5}); err == nil {
+		t.Error("negative batch accepted")
 	}
 	if _, err := ParseArrival("fractal"); err == nil {
 		t.Error("unknown arrival pattern accepted")

@@ -1,0 +1,175 @@
+package countq
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram bucket geometry: values below histSub land in exact unit
+// buckets; above that, each power of two splits into histSub sub-buckets,
+// so the relative quantization error is bounded by 1/histSub (~6%) across
+// the whole non-negative int64 range.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	histBuckets = (63 - histSubBits + 1) * histSub // top index histIndex(1<<63 - 1)
+)
+
+// Histogram is a log-bucketed histogram of non-negative int64 samples
+// (nanoseconds, in the driver's use). The zero value is empty and ready to
+// use; it is not safe for concurrent use — the driver keeps one per worker
+// and merges after the run.
+type Histogram struct {
+	counts [histBuckets]int64
+	n      int64
+	sum    float64
+	max    int64
+}
+
+// histIndex maps a sample to its bucket. Buckets are exact below histSub
+// and geometric above, with the two regimes meeting seamlessly at histSub.
+func histIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // 2^e ≤ v < 2^(e+1), e ≥ histSubBits
+	sub := int(v>>uint(e-histSubBits)) & (histSub - 1)
+	return (e-histSubBits+1)*histSub + sub
+}
+
+// histBounds is the inverse of histIndex: the half-open sample range
+// [lo, hi) covered by bucket i.
+func histBounds(i int) (lo, hi int64) {
+	if i < histSub {
+		return int64(i), int64(i) + 1
+	}
+	g := i/histSub - 1 // 0-based geometric group; width 2^g
+	sub := int64(i % histSub)
+	lo = (histSub + sub) << uint(g)
+	return lo, lo + 1<<uint(g)
+}
+
+// Record adds one sample. Negative samples (a clock stepping backwards)
+// clamp to zero rather than corrupting a bucket index.
+func (h *Histogram) Record(v int64) { h.RecordN(v, 1) }
+
+// RecordN adds n samples of the same value — the batched-grant case, where
+// one timed IncN covers n counts at the amortized per-count latency.
+func (h *Histogram) RecordN(v, n int64) {
+	if n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)] += n
+	h.n += n
+	h.sum += float64(v) * float64(n)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// recordAmortized adds n samples covering one timed block of totalNs
+// nanoseconds — the IncN case. The bucketed value is the rounded per-count
+// cost (quantiles quantize to the histogram's 1ns floor), but the sum
+// keeps the exact total, so Mean stays sub-nanosecond-accurate for large
+// batches whose amortized cost is below 1ns.
+func (h *Histogram) recordAmortized(totalNs, n int64) {
+	if n <= 0 {
+		return
+	}
+	if totalNs < 0 {
+		totalNs = 0
+	}
+	v := (totalNs + n/2) / n
+	h.counts[histIndex(v)] += n
+	h.n += n
+	h.sum += float64(totalNs)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.n == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean reports the mean sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max reports the largest recorded sample, or 0 when empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile reports the q-quantile (q in [0,1], clamped) as a bucket
+// midpoint, exact in the unit-bucket regime. When the rank falls in the
+// highest populated bucket the exact maximum is returned, so single-sample
+// histograms report that sample at every quantile and the extreme tail
+// never reads below the observed max. Quantile is nondecreasing in q;
+// an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			if cum == h.n {
+				// Highest populated bucket: the max is known exactly.
+				return float64(h.max)
+			}
+			lo, hi := histBounds(i)
+			return (float64(lo) + float64(hi)) / 2
+		}
+	}
+	return float64(h.max)
+}
+
+// Stats summarizes the histogram as the driver's exported latency record,
+// or nil when nothing was sampled.
+func (h *Histogram) Stats() *LatencyStats {
+	if h.n == 0 {
+		return nil
+	}
+	return &LatencyStats{
+		Samples: h.n,
+		MeanNs:  h.Mean(),
+		P50Ns:   h.Quantile(0.50),
+		P90Ns:   h.Quantile(0.90),
+		P99Ns:   h.Quantile(0.99),
+		P999Ns:  h.Quantile(0.999),
+		MaxNs:   float64(h.max),
+	}
+}

@@ -1,0 +1,180 @@
+package countq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram not zero: count %d, mean %v, max %d", h.Count(), h.Mean(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Stats() != nil {
+		t.Error("empty histogram produced stats")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(137)
+	if h.Count() != 1 || h.Max() != 137 || h.Mean() != 137 {
+		t.Errorf("count %d, max %d, mean %v", h.Count(), h.Max(), h.Mean())
+	}
+	// Every quantile of a single sample is that sample, exactly: the rank
+	// always lands in the highest populated bucket, which reports the max.
+	for _, q := range []float64{0, 0.5, 0.9, 0.999, 1} {
+		if got := h.Quantile(q); got != 137 {
+			t.Errorf("Quantile(%v) = %v, want 137", q, got)
+		}
+	}
+	s := h.Stats()
+	if s == nil || s.Samples != 1 || s.P50Ns != 137 || s.MaxNs != 137 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// The unit-bucket and geometric regimes must meet seamlessly: indexes
+	// strictly increase across the seam and bounds invert the index.
+	prev := -1
+	for _, v := range []int64{0, 1, 14, 15, 16, 17, 31, 32, 33, 63, 64, 127, 128, 1 << 20, 1<<62 + 5} {
+		i := histIndex(v)
+		if i < prev {
+			t.Errorf("histIndex(%d) = %d, below previous %d", v, i, prev)
+		}
+		prev = i
+		lo, hi := histBounds(i)
+		if v < lo || v >= hi {
+			t.Errorf("value %d outside its bucket [%d,%d)", v, lo, hi)
+		}
+	}
+	// Values below histSub land in exact unit buckets.
+	for v := int64(0); v < histSub; v++ {
+		lo, hi := histBounds(histIndex(v))
+		if lo != v || hi != v+1 {
+			t.Errorf("unit bucket for %d is [%d,%d)", v, lo, hi)
+		}
+	}
+	// Bucket width stays within the declared relative resolution: the
+	// width of any bucket is at most lo/histSub * 2.
+	for _, v := range []int64{100, 1000, 1 << 30, 1 << 55} {
+		lo, hi := histBounds(histIndex(v))
+		if width := hi - lo; width > lo/(histSub/2) {
+			t.Errorf("bucket [%d,%d) too wide for %d: width %d", lo, hi, v, width)
+		}
+	}
+	// The extreme value maps inside the table.
+	if i := histIndex(1<<63 - 1); i >= histBuckets {
+		t.Fatalf("histIndex(max) = %d out of range %d", i, histBuckets)
+	}
+	// Negative samples clamp to zero instead of panicking.
+	var h Histogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Errorf("negative record: count %d, max %d", h.Count(), h.Max())
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	vals := make([]int64, 5000)
+	for i := range vals {
+		// Mixed regimes: exact small values and heavy geometric tail.
+		v := int64(rng.ExpFloat64() * 900)
+		vals[i] = v
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	last := -1.0
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := h.Quantile(q)
+		if got < last {
+			t.Fatalf("Quantile(%v) = %v below previous %v", q, got, last)
+		}
+		last = got
+	}
+	// Quantiles track the true order statistics within bucket resolution
+	// (relative error bounded by 1/histSub per regime, plus the midpoint).
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		truth := float64(vals[int(q*float64(len(vals)-1))])
+		lo, hi := truth/(1+2.0/histSub)-1, truth*(1+2.0/histSub)+1
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, true order statistic %v (tolerance [%v,%v])", q, got, truth, lo, hi)
+		}
+	}
+	if got := h.Quantile(1); got != float64(h.Max()) {
+		t.Errorf("Quantile(1) = %v, want max %d", got, h.Max())
+	}
+}
+
+func TestHistogramMergeAndRecordN(t *testing.T) {
+	var a, b, whole Histogram
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i)
+		whole.Record(i)
+	}
+	b.RecordN(1000, 50)
+	for i := 0; i < 50; i++ {
+		whole.Record(1000)
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Max() != whole.Max() || a.Mean() != whole.Mean() {
+		t.Errorf("merge mismatch: count %d/%d mean %v/%v max %d/%d",
+			a.Count(), whole.Count(), a.Mean(), whole.Mean(), a.Max(), whole.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("merge quantile %v: %v vs %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// RecordN with a non-positive count is a no-op.
+	n := a.Count()
+	a.RecordN(5, 0)
+	a.RecordN(5, -3)
+	if a.Count() != n {
+		t.Error("RecordN with non-positive count recorded samples")
+	}
+}
+
+func TestHistogramAmortized(t *testing.T) {
+	// A 500ns block covering 1024 counts: the bucketed quantiles quantize
+	// to the 1ns floor (rounded per-count cost 0), but the mean keeps the
+	// exact sub-nanosecond amortized value — large-batch IncN sweeps must
+	// not record as free.
+	var h Histogram
+	h.recordAmortized(500, 1024)
+	if h.Count() != 1024 {
+		t.Fatalf("count = %d, want 1024", h.Count())
+	}
+	if want := 500.0 / 1024; h.Mean() != want {
+		t.Errorf("amortized mean = %v, want %v", h.Mean(), want)
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("sub-ns amortized p50 = %v, want 0 (1ns quantization floor)", h.Quantile(0.5))
+	}
+	// Rounding, not truncation: 100ns over 8 counts is 12.5 → bucket 13.
+	var r Histogram
+	r.recordAmortized(100, 8)
+	if r.Max() != 13 {
+		t.Errorf("rounded amortized value = %d, want 13", r.Max())
+	}
+	if r.Mean() != 12.5 {
+		t.Errorf("amortized mean = %v, want 12.5", r.Mean())
+	}
+	// A single-count block is an ordinary sample.
+	var s, ref Histogram
+	s.recordAmortized(137, 1)
+	ref.Record(137)
+	if s.Quantile(0.5) != ref.Quantile(0.5) || s.Mean() != ref.Mean() {
+		t.Error("recordAmortized(v, 1) differs from Record(v)")
+	}
+}

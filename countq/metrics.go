@@ -1,0 +1,151 @@
+package countq
+
+import "time"
+
+// LatencyStats summarizes the sampled latency distribution of one
+// operation kind: log-bucketed histogram quantiles plus the exact mean and
+// maximum. Samples counts the operations the timings cover (a timed
+// IncN block contributes its whole grant at the amortized per-count cost).
+type LatencyStats struct {
+	Samples int64   `json:"samples"`
+	MeanNs  float64 `json:"mean_ns"`
+	P50Ns   float64 `json:"p50_ns"`
+	P90Ns   float64 `json:"p90_ns"`
+	P99Ns   float64 `json:"p99_ns"`
+	P999Ns  float64 `json:"p999_ns"`
+	MaxNs   float64 `json:"max_ns"`
+}
+
+// Window is one slot of the throughput timeline: how many operations
+// completed in [StartNs, EndNs), offsets relative to the start of the run.
+// An empty window is a stall, not a gap in the record.
+type Window struct {
+	StartNs int64 `json:"start_ns"`
+	EndNs   int64 `json:"end_ns"`
+	Ops     int64 `json:"ops"`
+}
+
+// OpsPerSec reports the window's throughput in operations per second.
+func (w Window) OpsPerSec() float64 {
+	if w.EndNs <= w.StartNs {
+		return 0
+	}
+	return float64(w.Ops) * 1e9 / float64(w.EndNs-w.StartNs)
+}
+
+// PhaseMetrics reports one phase of a run: the shape it ran under, exact
+// op totals, sampled latency distributions per kind, a windowed throughput
+// timeline, and per-worker op counts with the fairness ratio they imply.
+type PhaseMetrics struct {
+	Name       string        `json:"name"`
+	Warmup     bool          `json:"warmup,omitempty"`
+	Goroutines int           `json:"goroutines"`
+	Mix        float64       `json:"mix"`
+	Arrival    string        `json:"arrival"`
+	Batch      int           `json:"batch,omitempty"`
+	StartNs    int64         `json:"start_ns"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Ops        int           `json:"ops"`
+	CounterOps int           `json:"counter_ops"`
+	QueueOps   int           `json:"queue_ops"`
+	CounterLat *LatencyStats `json:"counter_latency,omitempty"`
+	QueueLat   *LatencyStats `json:"queue_latency,omitempty"`
+	Timeline   []Window      `json:"timeline,omitempty"`
+	// WorkerOps is how many operations each worker completed. The op
+	// budget is a shared pool, so a worker the structure starves shows up
+	// here instead of being hidden by a preassigned per-worker quota.
+	WorkerOps []int64 `json:"worker_ops,omitempty"`
+	// Fairness is min/max over WorkerOps: 1 is perfectly fair service,
+	// values near 0 mean some worker was starved. 1 when trivially fair
+	// (a single worker).
+	Fairness float64 `json:"fairness"`
+}
+
+// NsPerOp reports the phase's average wall nanoseconds per operation.
+func (p *PhaseMetrics) NsPerOp() float64 {
+	if p.Ops == 0 {
+		return 0
+	}
+	return float64(p.Elapsed.Nanoseconds()) / float64(p.Ops)
+}
+
+// Aggregate folds the measured (non-warmup) phases of a run together:
+// summed op totals and elapsed time, merged latency histograms, the
+// concatenated throughput timeline, and the worst per-phase fairness.
+type Aggregate struct {
+	Ops        int           `json:"ops"`
+	CounterOps int           `json:"counter_ops"`
+	QueueOps   int           `json:"queue_ops"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	CounterLat *LatencyStats `json:"counter_latency,omitempty"`
+	QueueLat   *LatencyStats `json:"queue_latency,omitempty"`
+	Timeline   []Window      `json:"timeline,omitempty"`
+	Fairness   float64       `json:"fairness"`
+}
+
+// NsPerOp reports average wall nanoseconds per measured operation.
+func (a *Aggregate) NsPerOp() float64 {
+	if a.Ops == 0 {
+		return 0
+	}
+	return float64(a.Elapsed.Nanoseconds()) / float64(a.Ops)
+}
+
+// Metrics reports one driver run. Counts (including block grants) and
+// predecessor chains have already been validated — once, across all phases
+// — when Run returns it. Phases holds the per-phase record in run order
+// (warmup included, flagged); Aggregate folds the measured phases.
+type Metrics struct {
+	Counter    string         `json:"counter,omitempty"`
+	Queue      string         `json:"queue,omitempty"`
+	Scenario   string         `json:"scenario,omitempty"`
+	Goroutines int            `json:"goroutines"` // peak across phases
+	Seed       int64          `json:"seed"`
+	Elapsed    time.Duration  `json:"elapsed_ns"` // whole run, warmup included
+	Phases     []PhaseMetrics `json:"phases"`
+	Aggregate  Aggregate      `json:"aggregate"`
+}
+
+// NsPerOp reports average wall nanoseconds per measured operation.
+func (m *Metrics) NsPerOp() float64 { return m.Aggregate.NsPerOp() }
+
+// tlEvent is one worker-local throughput observation: ops operations
+// completed by offset off (ns from run start) since the previous event.
+type tlEvent struct {
+	off int64
+	ops int64
+}
+
+// timelineWindows is how many slots a phase's throughput timeline has.
+const timelineWindows = 16
+
+// buildTimeline folds worker-local completion events into fixed windows
+// spanning the phase. Events carry the ops completed since the previous
+// sampled op, so window totals are exact in sum and accurate to one
+// sampling interval in placement.
+func buildTimeline(events []tlEvent, startNs, elapsedNs int64) []Window {
+	if elapsedNs <= 0 || len(events) == 0 {
+		return nil
+	}
+	n := int64(timelineWindows)
+	dur := elapsedNs / n
+	if dur <= 0 {
+		n, dur = 1, elapsedNs
+	}
+	win := make([]Window, n)
+	for i := range win {
+		win[i].StartNs = startNs + int64(i)*dur
+		win[i].EndNs = win[i].StartNs + dur
+	}
+	win[n-1].EndNs = startNs + elapsedNs // absorb the integer-division remainder
+	for _, ev := range events {
+		idx := (ev.off - startNs) / dur
+		if idx < 0 {
+			idx = 0
+		} else if idx >= n {
+			idx = n - 1
+		}
+		win[idx].Ops += ev.ops
+	}
+	return win
+}

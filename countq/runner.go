@@ -1,0 +1,408 @@
+package countq
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// opsChunk is the granule workers claim from a phase's shared op pool:
+// large enough that the claim CAS stays out of the measured hot path,
+// small enough that an actually-starved worker shows up in the per-worker
+// op counts instead of being handed a preassigned quota.
+const opsChunk = 64
+
+// Run executes the workload against freshly constructed instances of the
+// specified implementations — as one steady phase, or as the phase
+// sequence of Workload.Scenario — validates the outcome once across all
+// phases (counts distinct and gap-free after draining leased remainders,
+// block grants included; predecessors a single total order), and reports
+// structured per-phase and aggregate Metrics: latency quantiles per op
+// kind, a windowed throughput timeline, and per-worker fairness.
+//
+// Capability interfaces are exploited when present: a HandleMaker counter
+// serves each worker through its own handle (closed when the worker
+// finishes). Batching is demanded, not hinted: a phase with Batch > 1
+// requires a BatchIncrementer counter and fails loudly without one.
+func Run(w Workload) (*Metrics, error) {
+	if w.Counter == "" && w.Queue == "" {
+		return nil, fmt.Errorf("countq: workload names neither a counter nor a queue")
+	}
+	var (
+		c   Counter
+		q   Queuer
+		err error
+	)
+	if w.Counter != "" {
+		if c, err = NewCounter(w.Counter); err != nil {
+			return nil, err
+		}
+	}
+	if w.Queue != "" {
+		if q, err = NewQueue(w.Queue); err != nil {
+			return nil, err
+		}
+	}
+	base := w.withDefaults()
+	scenarioSpec := ""
+	var phases []Phase
+	if w.Scenario != "" {
+		sc, err := ExpandScenario(w.Scenario, base)
+		if err != nil {
+			return nil, err
+		}
+		scenarioSpec, phases = sc.Spec, sc.Phases
+	} else {
+		phases = []Phase{basePhase(base, "steady")}
+		phases[0].Ops, phases[0].Duration = base.Ops, base.Duration
+	}
+	return runPhases(base, scenarioSpec, phases, c, q)
+}
+
+// laneData is the validation evidence one worker (and, merged, one run)
+// accumulates: every count, block grant and (id, predecessor) pair.
+type laneData struct {
+	counts     []int64
+	blocks     []CountRange
+	ids, preds []int64
+}
+
+func (d *laneData) merge(o *laneData) {
+	d.counts = append(d.counts, o.counts...)
+	d.blocks = append(d.blocks, o.blocks...)
+	d.ids = append(d.ids, o.ids...)
+	d.preds = append(d.preds, o.preds...)
+}
+
+// runPhases drives the phase sequence over the shared structure instances
+// and validates the accumulated evidence once at the end.
+func runPhases(base Workload, scenarioSpec string, phases []Phase, c Counter, q Queuer) (*Metrics, error) {
+	var batcher BatchIncrementer
+	if c != nil {
+		batcher, _ = c.(BatchIncrementer)
+	}
+	maker, _ := c.(HandleMaker)
+
+	// Validate the whole phase sequence before any goroutine runs: a
+	// misconfigured final phase must not waste the preceding ones.
+	if len(phases) > 256 {
+		return nil, fmt.Errorf("countq: %d phases overflow the queue-op id packing (max 256)", len(phases))
+	}
+	for i := range phases {
+		p := &phases[i]
+		if p.Goroutines <= 0 {
+			p.Goroutines = base.Goroutines
+		}
+		if p.Goroutines > 1<<15 {
+			return nil, fmt.Errorf("countq: phase %q: %d goroutines overflow the queue-op id packing (max %d)", p.Name, p.Goroutines, 1<<15)
+		}
+		if p.LatencySample == 0 {
+			p.LatencySample = base.LatencySample
+		}
+		if p.LatencySample < 0 {
+			return nil, fmt.Errorf("countq: phase %q: latency sample %d is negative (want 0 for the default, or ≥ 1)", p.Name, p.LatencySample)
+		}
+		switch {
+		case q == nil:
+			p.Mix = 1
+		case c == nil:
+			p.Mix = 0
+		}
+		if p.Mix < 0 || p.Mix > 1 {
+			return nil, fmt.Errorf("countq: phase %q: counter mix %v outside [0,1]", p.Name, p.Mix)
+		}
+		if p.Batch < 0 {
+			return nil, fmt.Errorf("countq: phase %q: negative batch %d", p.Name, p.Batch)
+		}
+		if p.Batch == 1 {
+			p.Batch = 0 // IncN(1) is Inc; keep the single-Inc path
+		}
+		if p.Batch > 1 && p.Mix > 0 && batcher == nil {
+			return nil, fmt.Errorf("countq: phase %q sets batch=%d but counter %q lacks the BatchIncrementer capability (block grants); drop the batch or pick a batching counter", p.Name, p.Batch, base.Counter)
+		}
+		if p.Duration > 0 {
+			p.Ops = 0
+		} else if p.Ops <= 0 {
+			return nil, fmt.Errorf("countq: phase %q has neither an ops nor a duration budget", p.Name)
+		}
+	}
+
+	m := &Metrics{
+		Counter:  base.Counter,
+		Queue:    base.Queue,
+		Scenario: scenarioSpec,
+		Seed:     base.Seed,
+	}
+	var all laneData
+	var aggCounter, aggQueue Histogram
+	agg := Aggregate{Fairness: 1}
+	runStart := time.Now()
+	for pi := range phases {
+		pm, data, chist, qhist := runPhase(c, q, maker, batcher, base, pi, phases[pi], runStart)
+		all.merge(&data)
+		m.Phases = append(m.Phases, pm)
+		if pm.Goroutines > m.Goroutines {
+			m.Goroutines = pm.Goroutines
+		}
+		if pm.Warmup {
+			continue
+		}
+		agg.Ops += pm.Ops
+		agg.CounterOps += pm.CounterOps
+		agg.QueueOps += pm.QueueOps
+		agg.Elapsed += pm.Elapsed
+		agg.Timeline = append(agg.Timeline, pm.Timeline...)
+		if pm.Fairness < agg.Fairness {
+			agg.Fairness = pm.Fairness
+		}
+		aggCounter.Merge(chist)
+		aggQueue.Merge(qhist)
+	}
+	m.Elapsed = time.Since(runStart)
+	agg.CounterLat = aggCounter.Stats()
+	agg.QueueLat = aggQueue.Stats()
+	m.Aggregate = agg
+
+	// Fail-loudly sampling invariant: operations of a kind without a single
+	// latency sample would silently report no distribution at all.
+	if agg.CounterOps > 0 && agg.CounterLat == nil {
+		return nil, fmt.Errorf("countq: %d counter operations but none latency-sampled", agg.CounterOps)
+	}
+	if agg.QueueOps > 0 && agg.QueueLat == nil {
+		return nil, fmt.Errorf("countq: %d queue operations but none latency-sampled", agg.QueueOps)
+	}
+
+	// One validation pass over the whole run, warmup included: phases share
+	// the structure instances, so counts keep rising across phase
+	// boundaries and the gap-free check must see every grant.
+	if d, ok := c.(Drainer); ok {
+		all.counts = append(all.counts, d.Drain()...)
+	}
+	if err := ValidateCountRanges(all.counts, all.blocks); err != nil {
+		return nil, fmt.Errorf("countq: %s failed validation: %w", base.Counter, err)
+	}
+	if err := ValidateOrder(all.ids, all.preds); err != nil {
+		return nil, fmt.Errorf("countq: %s failed validation: %w", base.Queue, err)
+	}
+	return m, nil
+}
+
+// claimOps takes up to chunk ops from the phase's shared pool, returning 0
+// when the budget is exhausted.
+func claimOps(pool *atomic.Int64, chunk int64) int64 {
+	for {
+		r := pool.Load()
+		if r <= 0 {
+			return 0
+		}
+		n := chunk
+		if n > r {
+			n = r
+		}
+		if pool.CompareAndSwap(r, r-n) {
+			return n
+		}
+	}
+}
+
+// runPhase spawns the phase's workers against the shared structures and
+// folds their lanes into one PhaseMetrics plus the validation evidence and
+// per-kind histograms (returned separately so the caller can merge them
+// into the aggregate without re-binning).
+func runPhase(c Counter, q Queuer, maker HandleMaker, batcher BatchIncrementer, base Workload, pi int, p Phase, runStart time.Time) (PhaseMetrics, laneData, *Histogram, *Histogram) {
+	type lane struct {
+		laneData
+		chist, qhist Histogram
+		events       []tlEvent
+		issued       int64
+	}
+	batch := p.Batch
+	if p.Mix == 0 {
+		batch = 0
+	}
+	// Each batched draw grants `batch` counter operations at once, so the
+	// per-draw counter probability must shrink for Mix to stay the
+	// fraction of *operations* that count: solving
+	// p·batch / (p·batch + (1-p)) = mix for p.
+	drawMix := p.Mix
+	if batch > 1 && p.Mix > 0 && p.Mix < 1 {
+		drawMix = p.Mix / (float64(batch)*(1-p.Mix) + p.Mix)
+	}
+	chunk := int64(opsChunk)
+	if int64(batch) > chunk {
+		chunk = int64(batch)
+	}
+	var pool atomic.Int64
+	pool.Store(int64(p.Ops))
+	hasPool := p.Ops > 0
+	lanes := make([]lane, p.Goroutines)
+	// Workers rendezvous on a start barrier so spawn latency is neither
+	// measured nor lets early workers drain the shared pool before late
+	// ones exist (which would read as unfairness the structure didn't
+	// cause).
+	var ready, wg sync.WaitGroup
+	start := make(chan struct{})
+	var phaseStart time.Time
+	var deadline time.Time
+	for gi := 0; gi < p.Goroutines; gi++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			ready.Done()
+			<-start
+			ln := &lanes[gi]
+			rng := rand.New(rand.NewSource(base.Seed + int64(pi)*104729 + int64(gi)*7919))
+			inc := func() int64 { return c.Inc() } // c may be nil in pure-queue phases
+			if maker != nil {
+				h := maker.NewHandle()
+				defer h.Close()
+				inc = h.Inc
+			}
+			sample := p.LatencySample
+			var sinceEvent int64 // unsampled ops since the last timeline event
+			observe := func(h *Histogram, totalNs, n int64, at time.Time) {
+				h.recordAmortized(totalNs, n)
+				ln.events = append(ln.events, tlEvent{off: at.Sub(runStart).Nanoseconds(), ops: sinceEvent + n})
+				sinceEvent = 0
+			}
+			allowance := int64(0) // ops claimed from the pool, not yet issued
+			burst := 0
+			for iter := 0; ; iter++ {
+				if hasPool {
+					if allowance == 0 {
+						if allowance = claimOps(&pool, chunk); allowance == 0 {
+							break
+						}
+					}
+				} else if iter%64 == 0 && !time.Now().Before(deadline) {
+					break
+				}
+				pause(p.Arrival, rng, &burst)
+				if p.Mix == 1 || (p.Mix > 0 && rng.Float64() < drawMix) {
+					if batch > 1 {
+						n := int64(batch)
+						if hasPool && n > allowance {
+							n = allowance
+						}
+						if len(ln.blocks)%sample == 0 {
+							t0 := time.Now()
+							first := batcher.IncN(n)
+							t1 := time.Now()
+							ln.blocks = append(ln.blocks, CountRange{First: first, N: n})
+							observe(&ln.chist, t1.Sub(t0).Nanoseconds(), n, t1)
+						} else {
+							ln.blocks = append(ln.blocks, CountRange{First: batcher.IncN(n), N: n})
+							sinceEvent += n
+						}
+						ln.issued += n
+						if hasPool {
+							allowance -= n
+						}
+						continue
+					}
+					if len(ln.counts)%sample == 0 {
+						t0 := time.Now()
+						v := inc()
+						t1 := time.Now()
+						ln.counts = append(ln.counts, v)
+						observe(&ln.chist, t1.Sub(t0).Nanoseconds(), 1, t1)
+					} else {
+						ln.counts = append(ln.counts, inc())
+						sinceEvent++
+					}
+				} else {
+					// 8 bits of phase, 15 of lane, 40 of draw index:
+					// distinct non-negative ids across the whole run.
+					id := int64(pi)<<55 | int64(gi)<<40 | int64(iter)
+					if len(ln.ids)%sample == 0 {
+						t0 := time.Now()
+						pr := q.Enqueue(id)
+						t1 := time.Now()
+						ln.ids = append(ln.ids, id)
+						ln.preds = append(ln.preds, pr)
+						observe(&ln.qhist, t1.Sub(t0).Nanoseconds(), 1, t1)
+					} else {
+						ln.ids = append(ln.ids, id)
+						ln.preds = append(ln.preds, q.Enqueue(id))
+						sinceEvent++
+					}
+				}
+				ln.issued++
+				if hasPool {
+					allowance--
+				}
+			}
+			if sinceEvent > 0 {
+				ln.events = append(ln.events, tlEvent{off: time.Since(runStart).Nanoseconds(), ops: sinceEvent})
+			}
+		}(gi)
+	}
+	ready.Wait()
+	phaseStart = time.Now()
+	deadline = phaseStart.Add(p.Duration) // workers observe this via the start barrier
+	startNs := phaseStart.Sub(runStart).Nanoseconds()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(phaseStart)
+
+	var data laneData
+	var chist, qhist Histogram
+	var events []tlEvent
+	workers := make([]int64, p.Goroutines)
+	for gi := range lanes {
+		data.merge(&lanes[gi].laneData)
+		chist.Merge(&lanes[gi].chist)
+		qhist.Merge(&lanes[gi].qhist)
+		events = append(events, lanes[gi].events...)
+		workers[gi] = lanes[gi].issued
+	}
+	counterOps := len(data.counts)
+	for _, b := range data.blocks {
+		counterOps += int(b.N)
+	}
+	queueOps := len(data.ids)
+	pm := PhaseMetrics{
+		Name:       p.Name,
+		Warmup:     p.Warmup,
+		Goroutines: p.Goroutines,
+		Mix:        p.Mix,
+		Arrival:    p.Arrival.String(),
+		Batch:      batch,
+		StartNs:    startNs,
+		Elapsed:    elapsed,
+		Ops:        counterOps + queueOps,
+		CounterOps: counterOps,
+		QueueOps:   queueOps,
+		CounterLat: chist.Stats(),
+		QueueLat:   qhist.Stats(),
+		Timeline:   buildTimeline(events, startNs, elapsed.Nanoseconds()),
+		WorkerOps:  workers,
+		Fairness:   fairness(workers),
+	}
+	return pm, data, &chist, &qhist
+}
+
+// fairness is min/max over per-worker op counts: 1 is perfectly fair, 0
+// means some worker was fully starved. A phase where nothing ran at all is
+// vacuously fair.
+func fairness(workers []int64) float64 {
+	if len(workers) == 0 {
+		return 1
+	}
+	min, max := workers[0], workers[0]
+	for _, w := range workers[1:] {
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	return float64(min) / float64(max)
+}

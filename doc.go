@@ -37,36 +37,42 @@
 // HandleMaker (per-goroutine handles whose fast path is uncontended) and
 // BatchIncrementer (IncN — a block of counts for one coordination round).
 //
-// The workload driver runs the paper's counting-versus-queuing contrast
-// over any registered pair — operation mix, arrival pattern, goroutine
-// count, ops/duration budget and IncN batching are all configurable, and
-// every run is validated (counts distinct and gap-free, block grants
-// included, predecessors one total order):
+// The scenario engine runs the paper's counting-versus-queuing contrast
+// over any registered pair — as one steady phase or as a registered
+// scenario (steady, ramp, spike, mixshift, batched) whose phases reshape
+// mix, contention, arrival and batching while the structures persist.
+// Every run is validated once across all phases (counts distinct and
+// gap-free, block grants included, predecessors one total order) and
+// reports structured Metrics: per-phase latency quantiles
+// (p50/p90/p99/p999/max) per op kind from log-bucketed histograms, a
+// windowed throughput timeline, and per-worker fairness:
 //
-//	res, err := countq.Run(countq.Workload{
+//	m, err := countq.Run(countq.Workload{
 //		Counter:    "sharded?shards=4&batch=16",
 //		Queue:      "swap",
+//		Scenario:   "ramp?gmax=8",
 //		Goroutines: 8,
 //		Ops:        1 << 20,
 //		Mix:        0.5,
-//		Arrival:    countq.Bursty,
 //	})
 //
-// The same driver is exposed on the command line, including a one-flag
-// parameter sweep:
+// The same engine is exposed on the command line, including a one-flag
+// parameter sweep and the scenario catalogue:
 //
 //	go run ./cmd/countq list -v                               # experiments + protocols + tunables
-//	go run ./cmd/countq drive -counter 'sharded?shards=4&batch=16' -queue swap -g 8 -ops 1000000 -json
+//	go run ./cmd/countq scenarios -v                          # scenario catalogue + declared params
+//	go run ./cmd/countq drive -counter sharded -queue swap -scenario 'ramp?gmax=8' -json
 //	go run ./cmd/countq drive -counter sharded -sweep batch=16,64,256,1024
 //
 // Benchmarks in bench_test.go iterate the registry and sweep the declared
 // tunables, so every registered implementation is measured for free:
 //
 //	go test -bench=. -benchmem
-//	go test -run TestBenchJSON -benchjson BENCH_now.json .    # machine-readable perf surface
+//	go test -run TestBenchJSON -benchjson BENCH_now.json .    # machine-readable tail-latency surface
 //
 // The cmd/countq, cmd/nntsp and cmd/bounds executables expose the same
 // functionality on the command line, and examples/ holds runnable
-// walkthroughs (quickstart, a spec-API sweep, ordered multicast,
-// distributed locking, a ticket office, and a topology atlas).
+// walkthroughs (quickstart, a spec-API sweep, the scenario engine,
+// ordered multicast, distributed locking, a ticket office, and a
+// topology atlas).
 package repro

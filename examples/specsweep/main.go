@@ -41,7 +41,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-24s %8.1f ns/op\n", spec, res.NsPerOp())
+		// Metrics carry the tail, not just the mean: a batch size that
+		// wins on ns/op can still lose on p99 when the lease refill stalls.
+		fmt.Printf("  %-28s %8.1f ns/op   p50 %6.0f   p99 %6.0f\n",
+			spec, res.NsPerOp(), res.Aggregate.CounterLat.P50Ns, res.Aggregate.CounterLat.P99Ns)
 	}
 
 	// Capability interfaces, used directly: a handle owns a private lease

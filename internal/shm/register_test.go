@@ -20,8 +20,8 @@ func TestRegistryRoundTrip(t *testing.T) {
 		res, err := countq.Run(countq.Workload{Counter: info.Name, Goroutines: 4, Ops: 2000, Seed: 1})
 		if err != nil {
 			t.Errorf("%s at defaults: %v", info.Name, err)
-		} else if res.CounterOps != 2000 {
-			t.Errorf("%s at defaults: %d ops", info.Name, res.CounterOps)
+		} else if res.Aggregate.CounterOps != 2000 {
+			t.Errorf("%s at defaults: %d ops", info.Name, res.Aggregate.CounterOps)
 		}
 		specs := variants[info.Name]
 		if len(info.Params) > 0 && len(specs) == 0 {
@@ -38,8 +38,8 @@ func TestRegistryRoundTrip(t *testing.T) {
 			res, err := countq.Run(countq.Workload{Counter: spec, Goroutines: 4, Ops: 2000, Seed: 1})
 			if err != nil {
 				t.Errorf("%s: %v", spec, err)
-			} else if res.CounterOps != 2000 {
-				t.Errorf("%s: %d ops", spec, res.CounterOps)
+			} else if res.Aggregate.CounterOps != 2000 {
+				t.Errorf("%s: %d ops", spec, res.Aggregate.CounterOps)
 			}
 		}
 	}
@@ -47,8 +47,8 @@ func TestRegistryRoundTrip(t *testing.T) {
 		res, err := countq.Run(countq.Workload{Queue: info.Name, Goroutines: 4, Ops: 2000, Seed: 1})
 		if err != nil {
 			t.Errorf("queue %s at defaults: %v", info.Name, err)
-		} else if res.QueueOps != 2000 {
-			t.Errorf("queue %s: %d ops", info.Name, res.QueueOps)
+		} else if res.Aggregate.QueueOps != 2000 {
+			t.Errorf("queue %s: %d ops", info.Name, res.Aggregate.QueueOps)
 		}
 		if len(info.Params) > 0 && len(variants[info.Name]) == 0 {
 			t.Errorf("queue %s declares params but has no variant in VariantSpecs", info.Name)
@@ -104,7 +104,7 @@ func TestRegistryCapabilities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Batch != 32 || res.CounterOps != 3000 {
-		t.Errorf("sharded batch run: batch=%d ops=%d", res.Batch, res.CounterOps)
+	if res.Phases[0].Batch != 32 || res.Aggregate.CounterOps != 3000 {
+		t.Errorf("sharded batch run: batch=%d ops=%d", res.Phases[0].Batch, res.Aggregate.CounterOps)
 	}
 }
