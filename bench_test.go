@@ -320,18 +320,22 @@ func BenchmarkShmQueuers(b *testing.B) {
 // benchJSON, when set, makes TestBenchJSON sweep every registered counter
 // and queuer — at defaults, over the declared tunables (tunableSpecs),
 // through the IncN batching path, and through the canonical `ramp`
-// scenario — via the countq scenario engine and write the validated
-// Metrics as JSON (e.g. BENCH_2026_07.json). Each record carries latency
-// quantiles (p50/p90/p99/p999/max) per op kind, a windowed throughput
-// timeline, and per-phase worker fairness, so successive PRs track a
-// *tail-latency surface* over the coordination knobs and contention
-// levels, not a single mean:
+// scenario — as named campaigns through the countq campaign API, writing
+// the validated Comparisons as JSON (e.g. BENCH_2026_07.json). Each record
+// carries full Metrics per structure — latency quantiles
+// (p50/p90/p99/p999/max) per op kind, a windowed throughput timeline,
+// per-phase worker fairness — plus delta ratios against the campaign's
+// baseline (atomic for counting, swap for queuing), so successive PRs
+// track a *tail-latency surface with cross-structure deltas* over the
+// coordination knobs and contention levels, not a table of means.
+// `countq benchdiff` consumes two such files as the perf regression gate:
 //
 //	go test -run TestBenchJSON -benchjson BENCH_now.json .
+//	go run ./cmd/countq benchdiff BENCH_2026_07.json BENCH_now.json
 //
 // -benchops shrinks the per-run budget for smoke runs (CI uses a tiny one).
 var (
-	benchJSON = flag.String("benchjson", "", "write registry-wide driver measurements to this JSON file")
+	benchJSON = flag.String("benchjson", "", "write registry-wide campaign comparisons to this JSON file")
 	benchOps  = flag.Int("benchops", 50000, "operation budget per TestBenchJSON run")
 )
 
@@ -340,23 +344,26 @@ func TestBenchJSON(t *testing.T) {
 		t.Skip("no -benchjson output path given")
 	}
 	type sweep struct {
-		GoMaxProcs int               `json:"gomaxprocs"`
-		Ops        int               `json:"ops_per_run"`
-		Results    []*countq.Metrics `json:"results"`
+		GoMaxProcs  int                  `json:"gomaxprocs"`
+		Ops         int                  `json:"ops_per_run"`
+		Comparisons []*countq.Comparison `json:"comparisons"`
 	}
 	ops := *benchOps
 	out := sweep{GoMaxProcs: runtime.GOMAXPROCS(0), Ops: ops}
-	run := func(w countq.Workload) {
+	run := func(c countq.Campaign) {
 		t.Helper()
-		w.Ops, w.Seed = ops, 1
-		m, err := countq.Run(w)
+		c.Base.Ops, c.Base.Seed = ops, 1
+		cmp, err := c.Run()
 		if err != nil {
-			t.Fatalf("%s%s %s: %v", w.Counter, w.Queue, w.Scenario, err)
+			t.Fatalf("campaign %s: %v", c.Name, err)
 		}
-		if m.Aggregate.CounterLat == nil && m.Aggregate.QueueLat == nil {
-			t.Fatalf("%s%s %s: no latency distribution recorded", w.Counter, w.Queue, w.Scenario)
+		for i := range cmp.Results {
+			m := cmp.Results[i].Metrics
+			if m.Aggregate.CounterLat == nil && m.Aggregate.QueueLat == nil {
+				t.Fatalf("campaign %s %s: no latency distribution recorded", c.Name, cmp.Results[i].Label)
+			}
 		}
-		out.Results = append(out.Results, m)
+		out.Comparisons = append(out.Comparisons, cmp)
 	}
 	// The ramp ceiling caps at 8 so the recorded surface is comparable
 	// across machines with different core counts.
@@ -365,21 +372,46 @@ func TestBenchJSON(t *testing.T) {
 		gmax = 8
 	}
 	ramp := fmt.Sprintf("ramp?gmax=%d", gmax)
+	// The entry rosters come straight from the registry; the loops below
+	// only collect entries — every run goes through the campaign API, so
+	// each record carries deltas against the declared baseline.
+	steady := countq.Campaign{Name: "counters-steady"}
+	rampC := countq.Campaign{Name: "counters-ramp", Base: countq.Workload{Scenario: ramp, Goroutines: gmax}}
+	batch := countq.Campaign{Name: "counters-batch", Base: countq.Workload{Batch: 64}}
 	for _, info := range countq.Counters() {
-		run(countq.Workload{Counter: info.Name})
-		run(countq.Workload{Counter: info.Name, Scenario: ramp, Goroutines: gmax})
+		if info.Name == "atomic" {
+			steady.Baseline = len(steady.Entries)
+			rampC.Baseline = len(rampC.Entries)
+		}
+		steady.Entries = append(steady.Entries, countq.Entry{Counter: info.Name})
+		rampC.Entries = append(rampC.Entries, countq.Entry{Counter: info.Name})
 		for _, spec := range tunableSpecs[info.Name] {
-			run(countq.Workload{Counter: spec})
+			steady.Entries = append(steady.Entries, countq.Entry{Counter: spec})
 		}
 		if c, err := countq.NewCounter(info.Name); err == nil {
 			if _, ok := c.(countq.BatchIncrementer); ok {
-				run(countq.Workload{Counter: info.Name, Batch: 64})
+				// Baseline index keyed to the entry actually appended, so
+				// it cannot silently drift if a structure's capability set
+				// changes.
+				if info.Name == "atomic" {
+					batch.Baseline = len(batch.Entries)
+				}
+				batch.Entries = append(batch.Entries, countq.Entry{Counter: info.Name})
 			}
 		}
 	}
+	queues := countq.Campaign{Name: "queues-steady"}
+	queuesRamp := countq.Campaign{Name: "queues-ramp", Base: countq.Workload{Scenario: ramp, Goroutines: gmax}}
 	for _, info := range countq.Queues() {
-		run(countq.Workload{Queue: info.Name})
-		run(countq.Workload{Queue: info.Name, Scenario: ramp, Goroutines: gmax})
+		if info.Name == "swap" {
+			queues.Baseline = len(queues.Entries)
+			queuesRamp.Baseline = len(queuesRamp.Entries)
+		}
+		queues.Entries = append(queues.Entries, countq.Entry{Queue: info.Name})
+		queuesRamp.Entries = append(queuesRamp.Entries, countq.Entry{Queue: info.Name})
+	}
+	for _, c := range []countq.Campaign{steady, rampC, batch, queues, queuesRamp} {
+		run(c)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -388,5 +420,5 @@ func TestBenchJSON(t *testing.T) {
 	if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %d measurements to %s", len(out.Results), *benchJSON)
+	t.Logf("wrote %d campaign comparisons to %s", len(out.Comparisons), *benchJSON)
 }

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/countq"
+)
+
+// mkBenchFile writes a benchjson file with one campaign of hand-built
+// aggregates, returning its path. opsPerSec is encoded via Ops/Elapsed.
+func mkBenchFile(t *testing.T, name string, points map[string]struct{ p99, opsPerSec float64 }) string {
+	t.Helper()
+	cmp := &countq.Comparison{Name: "camp", Baseline: "a"}
+	for label, pt := range points {
+		elapsed := time.Second
+		ops := int(pt.opsPerSec)
+		cmp.Results = append(cmp.Results, countq.StructureResult{
+			Label: label,
+			Metrics: &countq.Metrics{
+				Counter: label,
+				Aggregate: countq.Aggregate{
+					Ops:        ops,
+					Elapsed:    elapsed,
+					CounterLat: &countq.LatencyStats{Samples: 1, P99Ns: pt.p99},
+				},
+			},
+		})
+	}
+	f := benchFile{GoMaxProcs: 1, Ops: 1000, Comparisons: []*countq.Comparison{cmp}}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchdiffDetectsRegressions(t *testing.T) {
+	type pt = struct{ p99, opsPerSec float64 }
+	old := mkBenchFile(t, "old.json", map[string]pt{
+		"a": {p99: 100, opsPerSec: 1000},
+		"b": {p99: 100, opsPerSec: 1000},
+		"c": {p99: 100, opsPerSec: 1000},
+	})
+	// a: p99 regressed 50%; b: throughput regressed 50%; c: within band.
+	new := mkBenchFile(t, "new.json", map[string]pt{
+		"a": {p99: 150, opsPerSec: 1000},
+		"b": {p99: 100, opsPerSec: 500},
+		"c": {p99: 105, opsPerSec: 980},
+	})
+	var b strings.Builder
+	n, err := diffBenchFiles(&b, old, new, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("regressions = %d, want 2 in:\n%s", n, b.String())
+	}
+	if c := strings.Count(b.String(), "REGRESSION"); c != 2 {
+		t.Errorf("REGRESSION flagged %d times, want 2:\n%s", c, b.String())
+	}
+	// A wide band forgives both.
+	b.Reset()
+	n, err = diffBenchFiles(&b, old, new, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("regressions with 100%% band = %d, want 0:\n%s", n, b.String())
+	}
+	// Improvements never count as regressions, whichever direction the
+	// files are given in… swapping makes the old regressions improvements
+	// and c's small drift a non-event.
+	b.Reset()
+	if n, err = diffBenchFiles(&b, new, old, 0.10); err != nil || n != 0 {
+		t.Errorf("reverse diff: n=%d err=%v\n%s", n, err, b.String())
+	}
+}
+
+func TestBenchdiffToleratesDisjointRecords(t *testing.T) {
+	type pt = struct{ p99, opsPerSec float64 }
+	old := mkBenchFile(t, "old.json", map[string]pt{"a": {100, 1000}, "gone": {100, 1000}})
+	new := mkBenchFile(t, "new.json", map[string]pt{"a": {100, 1000}, "added": {100, 1000}})
+	var b strings.Builder
+	n, err := diffBenchFiles(&b, old, new, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("disjoint records regressed: %d\n%s", n, b.String())
+	}
+	for _, want := range []string{"only in old", "only in new"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("diff output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestBenchdiffRejectsLegacyFormat(t *testing.T) {
+	legacy := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`{"gomaxprocs":1,"ops_per_run":100,"results":[{"seed":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loadBenchFile(legacy)
+	if err == nil {
+		t.Fatal("legacy benchjson accepted")
+	}
+	if !strings.Contains(err.Error(), "regenerate") {
+		t.Errorf("legacy error lacks the regeneration hint: %v", err)
+	}
+	if _, err := loadBenchFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestBenchdiffSelfOnRealCampaign runs a real tiny campaign, marshals it
+// the way TestBenchJSON does, and checks a self-diff reports no
+// regressions at zero noise — the format round-trips through the gate.
+func TestBenchdiffSelfOnRealCampaign(t *testing.T) {
+	cmp, err := countq.Campaign{
+		Name:    "self",
+		Base:    countq.Workload{Goroutines: 2, Ops: 2000, Seed: 1},
+		Entries: []countq.Entry{{Counter: "atomic"}, {Counter: "sharded"}},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := benchFile{GoMaxProcs: 1, Ops: 2000, Comparisons: []*countq.Comparison{cmp}}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "self.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	n, err := diffBenchFiles(&b, path, path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("self-diff regressed: %d\n%s", n, b.String())
+	}
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/countq"
+)
+
+// compareCampaignCmd runs a campaign: the positional structure specs under
+// one scenario's byte-identical phase sequence and a shared seed, printing
+// per-phase metrics plus delta ratios against the baseline spec.
+func compareCampaignCmd(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "scenario spec, composable with ';' (e.g. 'ramp?gmax=8;spike'); empty for one steady phase")
+	queue := fs.String("queue", "", "queue spec paired with every counter spec (mixed workloads); empty compares pure counting")
+	queues := fs.Bool("queues", false, "treat the positional specs as queue specs (pure queuing comparison)")
+	baseline := fs.String("baseline", "", "the spec deltas are computed against (default: the first spec)")
+	g := fs.Int("g", 0, "goroutines (0 = GOMAXPROCS); scenarios treat this as the contention ceiling")
+	ops := fs.Int("ops", 1<<17, "total operation budget per structure (scenarios split it across phases)")
+	dur := fs.Duration("dur", 0, "run each structure for a duration instead of an ops budget")
+	mix := fs.Float64("mix", 0.5, "fraction of operations that count when -queue is set (the rest enqueue)")
+	batch := fs.Int("batch", 0, "issue counter ops as IncN block grants of this size (requires BatchIncrementer counters)")
+	sample := fs.Int("sample", 0, "time every Kth operation for per-op latency (0 = default 64)")
+	arrival := fs.String("arrival", "closed", "arrival pattern: closed|uniform|bursty")
+	seed := fs.Int64("seed", 1, "workload seed, shared by every structure (identical op and arrival schedules)")
+	asCSV := fs.Bool("csv", false, "emit the comparison as CSV")
+	asMD := fs.Bool("md", false, "emit the comparison as a Markdown table")
+	asJSON := fs.Bool("json", false, "emit the full Comparison as JSON")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: countq compare [flags] <spec> <spec> ...")
+		fmt.Fprintln(os.Stderr, "runs every spec under the same phase sequence and seed; Δ columns are")
+		fmt.Fprintln(os.Stderr, "this-structure / baseline ratios (Δns/op and Δp99 below 1 are faster,")
+		fmt.Fprintln(os.Stderr, "Δtput above 1 is higher throughput).")
+		fmt.Fprintln(os.Stderr, "")
+		fmt.Fprintln(os.Stderr, "The fair column is min/max per-worker ops (1 = perfectly fair service).")
+		fmt.Fprintln(os.Stderr, "On a single-core host (GOMAXPROCS=1) closed-loop phases legitimately")
+		fmt.Fprintln(os.Stderr, "report fairness ≈ 0 — one worker drains the shared op pool per")
+		fmt.Fprintln(os.Stderr, "timeslice, which is the scheduler's doing, not the structure's. Compare")
+		fmt.Fprintln(os.Stderr, "fairness across structures only when GOMAXPROCS > 1 (e.g. run with")
+		fmt.Fprintln(os.Stderr, "GOMAXPROCS=8) and read single-core values as 'not meaningful'.")
+		fmt.Fprintln(os.Stderr, "")
+		fmt.Fprintln(os.Stderr, "flags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	specs := fs.Args()
+	if len(specs) < 2 {
+		fmt.Fprintln(os.Stderr, "countq compare: need at least two structure specs to compare")
+		fs.Usage()
+		os.Exit(2)
+	}
+	arr, err := countq.ParseArrival(*arrival)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "countq compare:", err)
+		os.Exit(2)
+	}
+	if *queues && *queue != "" {
+		fmt.Fprintln(os.Stderr, "countq compare: -queues (positional queue specs) and -queue (shared queue) are mutually exclusive")
+		os.Exit(2)
+	}
+	c := countq.Campaign{
+		Base: countq.Workload{
+			Scenario:      *scenario,
+			Goroutines:    *g,
+			Ops:           *ops,
+			Batch:         *batch,
+			LatencySample: *sample,
+			Arrival:       arr,
+			Seed:          *seed,
+		},
+	}
+	if *dur > 0 {
+		c.Base.Duration = *dur // replaces the ops budget
+	}
+	if *queue != "" {
+		c.Base.Mix = *mix
+	}
+	baselineIdx := -1
+	for i, spec := range specs {
+		e := countq.Entry{Counter: spec, Queue: *queue}
+		if *queues {
+			e = countq.Entry{Queue: spec}
+		}
+		if *baseline != "" && (spec == *baseline || e.Label() == *baseline) {
+			baselineIdx = i
+		}
+		c.Entries = append(c.Entries, e)
+	}
+	switch {
+	case baselineIdx >= 0:
+		c.Baseline = baselineIdx
+	case *baseline != "":
+		fmt.Fprintf(os.Stderr, "countq compare: -baseline %q is not among the compared specs %v\n", *baseline, specs)
+		os.Exit(2)
+	}
+	cmp, err := c.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "countq compare:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *asJSON:
+		printJSON(cmp)
+	case *asCSV:
+		out, err := cmp.MarshalCSV()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countq compare:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+	case *asMD:
+		out, err := cmp.MarshalMarkdown()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countq compare:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+	default:
+		printComparison(os.Stdout, cmp)
+	}
+}
+
+// printComparison renders the campaign's human-readable per-phase delta
+// table: every structure under the identical phase sequence, with ratio
+// columns against the baseline.
+func printComparison(w io.Writer, cmp *countq.Comparison) {
+	scenario := cmp.Scenario
+	if scenario == "" {
+		scenario = "steady"
+	}
+	fmt.Fprintf(w, "campaign scenario=%s goroutines=%d seed=%d baseline=%s\n",
+		scenario, cmp.Goroutines, cmp.Seed, cmp.Baseline)
+	fmt.Fprintf(w, "%-28s %-12s %8s %9s %8s %8s %8s %5s  %7s %7s %7s\n",
+		"structure", "phase", "ops", "ns/op", "Mops/s", "p50", "p99", "fair", "Δns/op", "Δp99", "Δtput")
+	cell := func(v float64) string {
+		if v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fx", v)
+	}
+	row := func(label, phase string, ops int, nsPerOp, opsPerSec float64, cl, ql *countq.LatencyStats, fair float64, d countq.Delta) {
+		lat := cl
+		if lat == nil {
+			lat = ql
+		}
+		p50, p99 := "-", "-"
+		if lat != nil {
+			p50, p99 = fmt.Sprintf("%.0f", lat.P50Ns), fmt.Sprintf("%.0f", lat.P99Ns)
+		}
+		fmt.Fprintf(w, "%-28s %-12s %8d %9.1f %8.2f %8s %8s %5.2f  %7s %7s %7s\n",
+			label, phase, ops, nsPerOp, opsPerSec/1e6, p50, p99, fair,
+			cell(d.NsPerOpRatio), cell(d.P99Ratio), cell(d.ThroughputRatio))
+	}
+	hasWarmup := false
+	for i := range cmp.Results {
+		r := &cmp.Results[i]
+		label := r.Label
+		if r.Baseline {
+			label += "*"
+		}
+		for j := range r.Metrics.Phases {
+			p := &r.Metrics.Phases[j]
+			name := p.Name
+			if p.Warmup {
+				name += "~"
+				hasWarmup = true
+			}
+			row(label, name, p.Ops, p.NsPerOp(), p.OpsPerSec(), p.CounterLat, p.QueueLat, p.Fairness, r.PhaseDeltas[j])
+		}
+		a := &r.Metrics.Aggregate
+		row(label, "aggregate", a.Ops, a.NsPerOp(), a.OpsPerSec(), a.CounterLat, a.QueueLat, a.Fairness, r.AggregateDelta)
+	}
+	notes := []string{"(*) baseline structure; Δ columns are this/baseline ratios"}
+	if hasWarmup {
+		notes = append(notes, "(~) warmup phase, excluded from the aggregate")
+	}
+	fmt.Fprintln(w, strings.Join(notes, "; "))
+	fmt.Fprintln(w, "every structure validated independently: counts distinct and gap-free, predecessors one total order")
+	fmt.Fprintln(w, "fairness is min/max worker ops; ≈ 0 on a single-core host is the scheduler, not the structure (see compare -h)")
+}

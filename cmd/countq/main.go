@@ -8,18 +8,29 @@
 //	countq scenarios [-v]       # list registered workload scenarios (-v: declared params)
 //	countq run E1 E6 ...        # run selected experiments
 //	countq run all              # run the full suite
-//	countq compare -topo mesh2d -n 256
+//	countq compare -scenario 'ramp;spike' atomic 'sharded?shards=64'
+//	countq benchdiff -noise 0.10 BENCH_old.json BENCH_new.json
+//	countq topo -topo mesh2d -n 256
 //	countq drive -counter 'sharded?shards=4&batch=16' -queue swap -g 8 -ops 100000
 //	countq drive -counter sharded -scenario 'ramp?gmax=16' -json
 //	countq drive -counter sharded -sweep batch=16,64,256,1024
 //
 // Structures and scenarios are named by spec: a bare registry name
 // constructs the declared defaults, "name?param=value&..." tunes the
-// declared parameters (list -v and scenarios -v print them). -scenario
-// runs the workload as the named phase sequence and reports per-phase
-// metrics — latency quantiles, a throughput timeline, worker fairness.
-// -sweep varies one counter parameter over a list of values and reports
-// one line (or JSON record) per configuration.
+// declared parameters (list -v and scenarios -v print them). Scenario
+// specs compose: "ramp?gmax=8;spike" sequences registered scenarios, with
+// reserved per-segment weight= (budget share) and warmup= (mark the
+// segment warmup) parameters. -scenario runs the workload as the named
+// phase sequence and reports per-phase metrics — latency quantiles, a
+// throughput timeline, worker fairness. -sweep varies one counter
+// parameter over a list of values and reports one configuration per line.
+//
+// compare runs a campaign: several structure specs under one scenario's
+// byte-identical phase sequence and a shared seed, reporting per-phase
+// metrics plus delta ratios against a baseline spec (table, -csv, -md or
+// -json). benchdiff compares two -benchjson files on p99 and throughput
+// within a noise band and exits nonzero on regression. topo compares the
+// distributed protocols on a chosen topology.
 //
 // Experiments, protocols and scenarios all come from registries
 // (internal/core's spec registry and the public repro/countq registries),
@@ -56,7 +67,11 @@ func main() {
 	case "run":
 		runCmd(os.Args[2:])
 	case "compare":
-		compareCmd(os.Args[2:])
+		compareCampaignCmd(os.Args[2:])
+	case "benchdiff":
+		benchdiffCmd(os.Args[2:])
+	case "topo":
+		topoCmd(os.Args[2:])
 	case "trace":
 		traceCmd(os.Args[2:])
 	case "drive":
@@ -68,7 +83,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: countq {list [-v] | scenarios [-v] | run [-quick] [-seed N] <ids...|all> | compare [-topo T] [-n N] | trace [-n N] [-reqs K] | drive [-counter SPEC] [-queue SPEC] [-scenario SPEC] [-g N] [-ops N] [-dur D] [-mix F] [-batch N] [-sample K] [-arrival A] [-seed N] [-sweep P=V1,V2,...] [-json]}")
+	fmt.Fprintln(os.Stderr, `usage: countq {list [-v] | scenarios [-v] | run [-quick] [-seed N] <ids...|all>
+              | compare [-scenario SPEC] [-queue SPEC] [-baseline SPEC] [-g N] [-ops N] [-dur D] [-mix F] [-batch N] [-sample K] [-arrival A] [-seed N] [-csv|-md|-json] <counter-spec> <counter-spec> ...
+              | benchdiff [-noise F] OLD.json NEW.json
+              | topo [-topo T] [-n N] | trace [-n N] [-reqs K]
+              | drive [-counter SPEC] [-queue SPEC] [-scenario SPEC] [-g N] [-ops N] [-dur D] [-mix F] [-batch N] [-sample K] [-arrival A] [-seed N] [-sweep P=V1,V2,...] [-json]}`)
 }
 
 // scenariosArgs parses the scenarios flags and prints the listing.
@@ -142,6 +161,9 @@ func listParams(w io.Writer, params []countq.ParamInfo) {
 // scenario's phase sequence — over any registered protocol pair, named by
 // spec ("sharded?shards=4&batch=16"). With -sweep it varies one counter
 // parameter over a list of values and reports one configuration per line.
+// Both paths run through the campaign layer: a plain drive is the
+// 1-structure campaign, a sweep is a campaign whose baseline is the first
+// swept value.
 func driveCmd(args []string) {
 	fs := flag.NewFlagSet("drive", flag.ExitOnError)
 	counter := fs.String("counter", "atomic", "counter spec, e.g. 'sharded?shards=4&batch=16' (empty for a pure queue workload)")
@@ -165,9 +187,7 @@ func driveCmd(args []string) {
 		fmt.Fprintln(os.Stderr, "countq drive:", err)
 		os.Exit(2)
 	}
-	w := countq.Workload{
-		Counter:       *counter,
-		Queue:         *queue,
+	base := countq.Workload{
 		Scenario:      *scenario,
 		Goroutines:    *g,
 		Ops:           *ops,
@@ -178,46 +198,85 @@ func driveCmd(args []string) {
 		Seed:          *seed,
 	}
 	if *dur > 0 {
-		w.Duration = *dur // replaces the ops budget
+		base.Duration = *dur // replaces the ops budget
 	}
 	if *sweep != "" {
+		if err := checkSweepShadow(*sweep, *scenario); err != nil {
+			fmt.Fprintln(os.Stderr, "countq drive:", err)
+			os.Exit(2)
+		}
 		specs, err := sweepSpecs(*counter, *sweep)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "countq drive:", err)
 			os.Exit(2)
 		}
-		var results []*countq.Metrics
+		c := countq.Campaign{Base: base, Name: "sweep"}
 		for _, spec := range specs {
-			w.Counter = spec
-			m, err := countq.Run(w)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "countq drive:", err)
-				os.Exit(1)
-			}
-			results = append(results, m)
-			if !*asJSON {
-				line := fmt.Sprintf("%-40s %10.1f ns/op overall", m.Counter, m.NsPerOp())
-				if l := m.Aggregate.CounterLat; l != nil {
-					line += fmt.Sprintf("   counting p50 %8.1f  p99 %8.1f", l.P50Ns, l.P99Ns)
-				}
-				fmt.Println(line)
-			}
+			c.Entries = append(c.Entries, countq.Entry{Counter: spec, Queue: *queue})
+		}
+		cmp, err := c.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countq drive:", err)
+			os.Exit(1)
 		}
 		if *asJSON {
-			printJSON(results)
+			printJSON(cmp)
+			return
+		}
+		for i := range cmp.Results {
+			r := &cmp.Results[i]
+			m := r.Metrics
+			line := fmt.Sprintf("%-40s %10.1f ns/op overall", m.Counter, m.NsPerOp())
+			if l := m.Aggregate.CounterLat; l != nil {
+				line += fmt.Sprintf("   counting p50 %8.1f  p99 %8.1f", l.P50Ns, l.P99Ns)
+			}
+			if !r.Baseline && r.AggregateDelta.P99Ratio > 0 {
+				line += fmt.Sprintf("   p99 %5.2fx vs %s", r.AggregateDelta.P99Ratio, cmp.Baseline)
+			}
+			fmt.Println(line)
 		}
 		return
 	}
-	m, err := countq.Run(w)
+	c := countq.Campaign{Base: base, Entries: []countq.Entry{{Counter: *counter, Queue: *queue}}}
+	cmp, err := c.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "countq drive:", err)
 		os.Exit(1)
 	}
+	m := cmp.Results[0].Metrics
 	if *asJSON {
 		printJSON(m)
 		return
 	}
 	printMetrics(os.Stdout, m)
+}
+
+// checkSweepShadow rejects a sweep whose parameter name a composed
+// scenario segment also pins. The namespaces differ — -sweep varies the
+// *counter spec*, segment parameters shape the *scenario* — but the name
+// collision is exactly the case where a user who meant to sweep the
+// scenario knob would instead silently measure the pinned segment value
+// on every run, so the ambiguity fails loudly instead. Single-segment
+// scenarios keep the existing behavior — the sweep varies the counter
+// spec, the scenario keeps its own parameters.
+func checkSweepShadow(sweep, scenario string) error {
+	if scenario == "" || !strings.Contains(scenario, ";") {
+		return nil
+	}
+	param, _, ok := strings.Cut(sweep, "=")
+	if !ok || param == "" {
+		return nil // sweepSpecs reports the malformed sweep itself
+	}
+	segs, err := countq.Segments(scenario)
+	if err != nil {
+		return err
+	}
+	for i, seg := range segs {
+		if v, set := seg.Options.Lookup(param); set {
+			return fmt.Errorf("ambiguous sweep: -sweep varies the counter parameter %q, but scenario segment %d (%s) pins a parameter of the same name (%s=%s), which a sweep never varies — if you meant to sweep the scenario knob, that stays fixed at %s; drop the segment parameter or sweep a differently-named one to disambiguate (shadowing)", param, i+1, seg.Name, param, v, v)
+		}
+	}
+	return nil
 }
 
 // printMetrics renders a run's metrics as the human-readable per-phase
@@ -380,8 +439,11 @@ func runCmd(args []string) {
 	}
 }
 
-func compareCmd(args []string) {
-	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+// topoCmd (formerly `compare`) contrasts the distributed protocols on a
+// chosen message-passing topology; `compare` now names the shared-memory
+// campaign comparison.
+func topoCmd(args []string) {
+	fs := flag.NewFlagSet("topo", flag.ExitOnError)
 	topo := fs.String("topo", "mesh2d", "topology: complete|mesh2d|mesh3d|hypercube|list|star|mary|caterpillar|ccc|debruijn")
 	n := fs.Int("n", 256, "approximate number of nodes")
 	if err := fs.Parse(args); err != nil {
@@ -389,12 +451,12 @@ func compareCmd(args []string) {
 	}
 	g, err := buildTopology(*topo, *n)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "countq compare:", err)
+		fmt.Fprintln(os.Stderr, "countq topo:", err)
 		os.Exit(2)
 	}
 	tbl, err := core.CompareOn(g)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "countq compare:", err)
+		fmt.Fprintln(os.Stderr, "countq topo:", err)
 		os.Exit(1)
 	}
 	fmt.Println(tbl.Render())

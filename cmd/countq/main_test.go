@@ -177,6 +177,82 @@ func TestSweepSpecs(t *testing.T) {
 	}
 }
 
+// TestCompareCampaignTable runs the acceptance-criteria path — a campaign
+// over two structure specs under a composed scenario — and checks the
+// rendered delta table, CSV and Markdown all carry both structures under
+// identical phase sequences.
+func TestCompareCampaignTable(t *testing.T) {
+	cmp, err := countq.Campaign{
+		Base:    countq.Workload{Scenario: "ramp?gmax=2;spike?cycles=1", Goroutines: 2, Ops: 8000, Seed: 1},
+		Entries: []countq.Entry{{Counter: "atomic"}, {Counter: "sharded?shards=64"}},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	printComparison(&b, cmp)
+	out := b.String()
+	for _, want := range []string{
+		"scenario=ramp?gmax=2;spike?cycles=1", "baseline=atomic",
+		"atomic*", "sharded?shards=64", "g=1", "g=2", "spike-1", "calm-1",
+		"aggregate", "Δp99", "validated", "fairness is min/max",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison table missing %q in:\n%s", want, out)
+		}
+	}
+	// Identical phase sequences: the same per-phase op budgets on both.
+	a, s := cmp.Results[0].Metrics, cmp.Results[1].Metrics
+	for i := range a.Phases {
+		if a.Phases[i].Ops != s.Phases[i].Ops || a.Phases[i].Name != s.Phases[i].Name {
+			t.Errorf("phase %d diverges: %s/%d vs %s/%d",
+				i, a.Phases[i].Name, a.Phases[i].Ops, s.Phases[i].Name, s.Phases[i].Ops)
+		}
+	}
+	if _, err := cmp.MarshalCSV(); err != nil {
+		t.Errorf("CSV export: %v", err)
+	}
+	if _, err := cmp.MarshalMarkdown(); err != nil {
+		t.Errorf("Markdown export: %v", err)
+	}
+}
+
+// TestCheckSweepShadow pins the fail-loudly rule for sweeps under composed
+// scenarios: a segment pinning the swept parameter is rejected instead of
+// silently overriding every swept value.
+func TestCheckSweepShadow(t *testing.T) {
+	// A composed scenario whose segment pins the swept parameter fails.
+	err := checkSweepShadow("gmax=2,4,8", "ramp?gmax=8;spike")
+	if err == nil {
+		t.Fatal("shadowed sweep accepted")
+	}
+	for _, want := range []string{"ramp", "gmax=8", "shadow"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("shadow error %q does not mention %q", err, want)
+		}
+	}
+	// Later segments are checked too.
+	if err := checkSweepShadow("cycles=1,2", "ramp;spike?cycles=3"); err == nil {
+		t.Error("shadow in the second segment accepted")
+	}
+	// No shadowing: composed scenario with disjoint params, single-segment
+	// scenarios (even pinning the name), and no scenario at all.
+	for _, ok := range []struct{ sweep, scenario string }{
+		{"batch=16,64", "ramp?gmax=8;spike"},
+		{"gmax=2,4", "ramp?gmax=8"}, // single segment keeps existing behavior
+		{"batch=16,64", ""},
+		{"malformed", "ramp;spike"}, // sweepSpecs reports the malformed sweep itself
+	} {
+		if err := checkSweepShadow(ok.sweep, ok.scenario); err != nil {
+			t.Errorf("checkSweepShadow(%q, %q) = %v, want nil", ok.sweep, ok.scenario, err)
+		}
+	}
+	// An invalid composition surfaces its own error.
+	if err := checkSweepShadow("gmax=2,4", "ramp;;spike"); err == nil {
+		t.Error("invalid composition accepted")
+	}
+}
+
 func TestBuildTopology(t *testing.T) {
 	cases := []struct {
 		topo      string

@@ -10,8 +10,12 @@
 // pattern, goroutine count and ops budget — as one steady phase, or as a
 // named Scenario: a self-registering sequence of Phases that ramps
 // goroutines, alternates arrival bursts, shifts the operation mix, or
-// toggles batching while the structures persist. The paper's
-// counting-versus-queuing contrast as one function call.
+// toggles batching while the structures persist. Scenarios compose with
+// ';' (or the Compose/Then combinator), and the Campaign layer runs
+// several structure specs under one scenario's byte-identical phase
+// sequence, reporting per-structure Metrics plus deltas against a
+// baseline. The paper's counting-versus-queuing contrast as one function
+// call.
 //
 // Structures are constructed from specs: a bare registry name builds the
 // structure at its declared defaults, and a DSN-style parameter list tunes

@@ -69,6 +69,14 @@ func (p *PhaseMetrics) NsPerOp() float64 {
 	return float64(p.Elapsed.Nanoseconds()) / float64(p.Ops)
 }
 
+// OpsPerSec reports the phase's throughput in operations per second.
+func (p *PhaseMetrics) OpsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Ops) / p.Elapsed.Seconds()
+}
+
 // Aggregate folds the measured (non-warmup) phases of a run together:
 // summed op totals and elapsed time, merged latency histograms, the
 // concatenated throughput timeline, and the worst per-phase fairness.
@@ -89,6 +97,15 @@ func (a *Aggregate) NsPerOp() float64 {
 		return 0
 	}
 	return float64(a.Elapsed.Nanoseconds()) / float64(a.Ops)
+}
+
+// OpsPerSec reports the aggregate throughput in operations per second
+// over the measured phases.
+func (a *Aggregate) OpsPerSec() float64 {
+	if a.Elapsed <= 0 {
+		return 0
+	}
+	return float64(a.Ops) / a.Elapsed.Seconds()
 }
 
 // Metrics reports one driver run. Counts (including block grants) and

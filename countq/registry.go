@@ -53,7 +53,7 @@ func checkInfo(kind, name string, hasNew bool, params []ParamInfo) {
 	if name == "" || !hasNew {
 		panic(fmt.Sprintf("countq: Register%s with empty name or nil constructor", kind))
 	}
-	if strings.ContainsAny(name, "?&=") {
+	if strings.ContainsAny(name, "?&=;") {
 		panic(fmt.Sprintf("countq: %s name %q contains a spec metacharacter", kind, name))
 	}
 	seen := make(map[string]bool, len(params))

@@ -30,6 +30,30 @@ func Run(w Workload) (*Metrics, error) {
 	if w.Counter == "" && w.Queue == "" {
 		return nil, fmt.Errorf("countq: workload names neither a counter nor a queue")
 	}
+	base := w.withDefaults()
+	scenarioSpec := ""
+	var phases []Phase
+	if w.Scenario != "" {
+		sc, err := ExpandScenario(w.Scenario, base)
+		if err != nil {
+			return nil, err
+		}
+		scenarioSpec, phases = sc.Spec, sc.Phases
+	} else {
+		phases = []Phase{basePhase(base, "steady")}
+		phases[0].Ops, phases[0].Duration = base.Ops, base.Duration
+	}
+	return runSpec(base, scenarioSpec, phases)
+}
+
+// runSpec constructs the workload's structures and drives an
+// already-expanded phase sequence — the shared back half of Run and
+// Campaign.Run. It owns (and mutates) the phases slice; callers reusing an
+// expansion across runs must pass each run its own copy.
+func runSpec(w Workload, scenarioSpec string, phases []Phase) (*Metrics, error) {
+	if w.Counter == "" && w.Queue == "" {
+		return nil, fmt.Errorf("countq: workload names neither a counter nor a queue")
+	}
 	var (
 		c   Counter
 		q   Queuer
@@ -45,20 +69,7 @@ func Run(w Workload) (*Metrics, error) {
 			return nil, err
 		}
 	}
-	base := w.withDefaults()
-	scenarioSpec := ""
-	var phases []Phase
-	if w.Scenario != "" {
-		sc, err := ExpandScenario(w.Scenario, base)
-		if err != nil {
-			return nil, err
-		}
-		scenarioSpec, phases = sc.Spec, sc.Phases
-	} else {
-		phases = []Phase{basePhase(base, "steady")}
-		phases[0].Ops, phases[0].Duration = base.Ops, base.Duration
-	}
-	return runPhases(base, scenarioSpec, phases, c, q)
+	return runPhases(w, scenarioSpec, phases, c, q)
 }
 
 // laneData is the validation evidence one worker (and, merged, one run)

@@ -3,6 +3,7 @@ package countq
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -99,16 +100,39 @@ type Scenario struct {
 	Phases []Phase
 }
 
-// ExpandScenario parses a scenario spec ("ramp" or "ramp?gmax=16"),
-// resolves the base workload's defaults, and expands the scenario into its
-// phases. The expansion is validated structurally — at least one phase,
-// distinct non-empty names, at least one measured (non-warmup) phase —
-// and the per-phase workload shapes are validated again by Run.
+// ExpandScenario parses a scenario spec ("ramp", "ramp?gmax=16", or a
+// ';'-separated composition like "ramp?gmax=8;spike"), resolves the base
+// workload's defaults, and expands the scenario into its phases. The
+// expansion is validated structurally — at least one phase, distinct
+// non-empty names across the whole expansion, at least one measured
+// (non-warmup) phase — and the per-phase workload shapes are validated
+// again by Run. See Compose for the composition semantics (per-segment
+// weight and warmup, duration-weighted budget splits).
 func ExpandScenario(spec string, base Workload) (*Scenario, error) {
+	if strings.Contains(spec, ";") {
+		return expandComposition(spec, base.withDefaults())
+	}
 	s, err := ParseSpec(spec)
 	if err != nil {
 		return nil, err
 	}
+	phases, err := expandOne(s, base.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	if err := validatePhases(fmt.Sprintf("scenario %q", s.Name), phases); err != nil {
+		return nil, err
+	}
+	return &Scenario{Name: s.Name, Spec: s.String(), Phases: phases}, nil
+}
+
+// expandOne resolves one already-parsed scenario spec against a resolved
+// base workload and runs its registered expansion. It validates the
+// segment-local invariants (known scenario, declared params, at least one
+// phase, non-empty phase names); the cross-expansion checks — distinct
+// names, at least one measured phase — are the caller's, so a composition
+// can apply them across all of its segments at once.
+func expandOne(s Spec, base Workload) ([]Phase, error) {
 	regMu.RLock()
 	info, ok := scenarios[s.Name]
 	regMu.RUnlock()
@@ -118,21 +142,30 @@ func ExpandScenario(spec string, base Workload) (*Scenario, error) {
 	if err := checkParams("scenario", s.Name, s.Options, info.Params); err != nil {
 		return nil, err
 	}
-	phases, err := info.Phases(base.withDefaults(), s.Options)
+	phases, err := info.Phases(base, s.Options)
 	if err != nil {
 		return nil, fmt.Errorf("countq: scenario %q: %w", s.Name, err)
 	}
 	if len(phases) == 0 {
 		return nil, fmt.Errorf("countq: scenario %q expanded to no phases", s.Name)
 	}
-	seen := make(map[string]bool, len(phases))
-	measured := 0
 	for _, p := range phases {
 		if p.Name == "" {
 			return nil, fmt.Errorf("countq: scenario %q has a phase with no name", s.Name)
 		}
+	}
+	return phases, nil
+}
+
+// validatePhases applies the whole-expansion structural checks: phase
+// names distinct across the full sequence and at least one measured
+// (non-warmup) phase.
+func validatePhases(what string, phases []Phase) error {
+	seen := make(map[string]bool, len(phases))
+	measured := 0
+	for _, p := range phases {
 		if seen[p.Name] {
-			return nil, fmt.Errorf("countq: scenario %q names phase %q twice", s.Name, p.Name)
+			return fmt.Errorf("countq: %s names phase %q twice", what, p.Name)
 		}
 		seen[p.Name] = true
 		if !p.Warmup {
@@ -140,7 +173,7 @@ func ExpandScenario(spec string, base Workload) (*Scenario, error) {
 		}
 	}
 	if measured == 0 {
-		return nil, fmt.Errorf("countq: scenario %q has no measured (non-warmup) phase", s.Name)
+		return fmt.Errorf("countq: %s has no measured (non-warmup) phase", what)
 	}
-	return &Scenario{Name: s.Name, Spec: s.String(), Phases: phases}, nil
+	return nil
 }

@@ -195,19 +195,29 @@ func assignBudgets(base Workload, phases []Phase, weights []float64) ([]Phase, e
 	if base.Ops < len(phases) {
 		return nil, fmt.Errorf("ops budget %d cannot cover %d phases", base.Ops, len(phases))
 	}
-	// Largest-remainder split: floors first, then hand the leftover ops to
-	// the phases with the biggest fractional parts, then guarantee every
-	// phase at least one op by taking from the largest share.
-	ops := make([]int, len(phases))
-	rem := make([]float64, len(phases))
+	ops := splitOps(base.Ops, weights, total)
+	for i := range phases {
+		phases[i].Ops, phases[i].Duration = ops[i], 0
+	}
+	return phases, nil
+}
+
+// splitOps divides total operations across weights (whose sum is wsum)
+// by largest remainder: floors first, then hand the leftover ops to the
+// shares with the biggest fractional parts, then guarantee every share at
+// least one op by taking from the largest. The caller has already checked
+// total ≥ len(weights) and every weight positive.
+func splitOps(total int, weights []float64, wsum float64) []int {
+	ops := make([]int, len(weights))
+	rem := make([]float64, len(weights))
 	assigned := 0
 	for i, w := range weights {
-		exact := float64(base.Ops) * w / total
+		exact := float64(total) * w / wsum
 		ops[i] = int(exact)
 		rem[i] = exact - float64(ops[i])
 		assigned += ops[i]
 	}
-	for assigned < base.Ops {
+	for assigned < total {
 		best := 0
 		for i := range rem {
 			if rem[i] > rem[best] {
@@ -230,8 +240,5 @@ func assignBudgets(base Workload, phases []Phase, weights []float64) ([]Phase, e
 			ops[i]++
 		}
 	}
-	for i := range phases {
-		phases[i].Ops, phases[i].Duration = ops[i], 0
-	}
-	return phases, nil
+	return ops
 }

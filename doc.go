@@ -41,11 +41,13 @@
 // over any registered pair — as one steady phase or as a registered
 // scenario (steady, ramp, spike, mixshift, batched) whose phases reshape
 // mix, contention, arrival and batching while the structures persist.
-// Every run is validated once across all phases (counts distinct and
-// gap-free, block grants included, predecessors one total order) and
-// reports structured Metrics: per-phase latency quantiles
-// (p50/p90/p99/p999/max) per op kind from log-bucketed histograms, a
-// windowed throughput timeline, and per-worker fairness:
+// Scenario specs compose with ';' ("ramp?gmax=8;spike", or
+// countq.Compose("ramp?gmax=8").Then("spike")), with reserved per-segment
+// weight and warmup parameters. Every run is validated once across all
+// phases (counts distinct and gap-free, block grants included,
+// predecessors one total order) and reports structured Metrics: per-phase
+// latency quantiles (p50/p90/p99/p999/max) per op kind from log-bucketed
+// histograms, a windowed throughput timeline, and per-worker fairness:
 //
 //	m, err := countq.Run(countq.Workload{
 //		Counter:    "sharded?shards=4&batch=16",
@@ -56,23 +58,37 @@
 //		Mix:        0.5,
 //	})
 //
-// The same engine is exposed on the command line, including a one-flag
-// parameter sweep and the scenario catalogue:
+// The campaign layer runs several structure specs under one scenario's
+// byte-identical phase sequence and a shared seed, returning per-structure
+// Metrics plus delta ratios against a declared baseline, exportable as
+// CSV or Markdown:
+//
+//	cmp, err := countq.Campaign{
+//		Base:    countq.Workload{Scenario: "ramp?gmax=8;spike", Ops: 1 << 20},
+//		Entries: []countq.Entry{{Counter: "atomic"}, {Counter: "sharded?shards=64"}},
+//	}.Run()
+//
+// The same engine is exposed on the command line, including the campaign
+// comparison, a one-flag parameter sweep, the scenario catalogue, and the
+// benchjson perf regression gate:
 //
 //	go run ./cmd/countq list -v                               # experiments + protocols + tunables
 //	go run ./cmd/countq scenarios -v                          # scenario catalogue + declared params
 //	go run ./cmd/countq drive -counter sharded -queue swap -scenario 'ramp?gmax=8' -json
 //	go run ./cmd/countq drive -counter sharded -sweep batch=16,64,256,1024
+//	go run ./cmd/countq compare -scenario 'ramp;spike' atomic 'sharded?shards=64'
+//	go run ./cmd/countq benchdiff -noise 0.10 BENCH_old.json BENCH_new.json
 //
 // Benchmarks in bench_test.go iterate the registry and sweep the declared
-// tunables, so every registered implementation is measured for free:
+// tunables as named campaigns, so every registered implementation is
+// measured — with cross-structure deltas — for free:
 //
 //	go test -bench=. -benchmem
-//	go test -run TestBenchJSON -benchjson BENCH_now.json .    # machine-readable tail-latency surface
+//	go test -run TestBenchJSON -benchjson BENCH_now.json .    # tail-latency surface + deltas
 //
 // The cmd/countq, cmd/nntsp and cmd/bounds executables expose the same
 // functionality on the command line, and examples/ holds runnable
-// walkthroughs (quickstart, a spec-API sweep, the scenario engine,
-// ordered multicast, distributed locking, a ticket office, and a
-// topology atlas).
+// walkthroughs (quickstart, a spec-API sweep, the scenario engine, a
+// campaign comparison, ordered multicast, distributed locking, a ticket
+// office, and a topology atlas).
 package repro

@@ -12,7 +12,9 @@ import (
 // arbitrary connected graph with all nodes requesting: the arrow protocol
 // on the best spanning tree available (Hamilton path when one is known,
 // BFS otherwise) against the counting portfolio, with the paper's bounds
-// alongside. This is the library entry point behind `countq compare`.
+// alongside. This is the library entry point behind `countq topo`
+// (the campaign comparison of shared-memory structures lives behind
+// `countq compare`).
 func CompareOn(g *graph.Graph) (*Table, error) {
 	if !g.IsConnected() {
 		return nil, fmt.Errorf("core: graph %s is not connected", g.Name())

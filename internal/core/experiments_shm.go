@@ -15,16 +15,17 @@ func init() {
 // over shared memory. The counting structures that scale (combining,
 // counting network, sharded) pay multi-location coordination per
 // operation, while queuing — learning your predecessor — is a single
-// atomic swap. Neither roster nor workload is hand-maintained: every
-// implementation registered with the public countq registry (the whole
-// internal/shm zoo, plus anything future packages register) runs the
-// canonical `ramp` scenario — contention doubling 1 → gmax through the
-// phased driver — and a few non-default specs show how the tunables move
-// the coordination cost. Per-phase tail latency (p50/p99) and worker
-// fairness are reported alongside the mean, because quiescently
-// consistent counters hide their pathologies in averages. Every run is
-// validated once across all phases (counts form a gap-free set after
-// draining, block grants included; predecessors form a total order).
+// atomic swap. Neither roster nor workload is hand-maintained: the
+// experiment is two campaigns over the public countq registry — every
+// registered counter (plus the canonical non-default variants) and every
+// registered queuer — run through the canonical `ramp` scenario under
+// byte-identical phase sequences and a shared seed, with deltas against a
+// declared baseline (`atomic` fetch-add for counting, `swap` for queuing).
+// Per-phase tail latency (p50/p99) and worker fairness are reported
+// alongside the mean, because quiescently consistent counters hide their
+// pathologies in averages. Every run is validated once across all phases
+// (counts form a gap-free set after draining, block grants included;
+// predecessors form a total order).
 func RunE11(cfg Config) (*Table, error) {
 	ops := 160000
 	gmax := 8
@@ -42,51 +43,73 @@ func RunE11(cfg Config) (*Table, error) {
 		gmax = 4
 		variants = allVariants["sharded"]
 	}
-	scenario := fmt.Sprintf("ramp?gmax=%d", gmax)
+	base := countq.Workload{
+		Scenario:   fmt.Sprintf("ramp?gmax=%d", gmax),
+		Goroutines: gmax,
+		Ops:        ops,
+		Seed:       cfg.Seed,
+	}
+	counting := countq.Campaign{Base: base, Name: "counting"}
+	for i, info := range countq.Counters() {
+		if info.Name == "atomic" {
+			counting.Baseline = i
+		}
+		counting.Entries = append(counting.Entries, countq.Entry{Counter: info.Name})
+	}
+	for _, spec := range variants {
+		counting.Entries = append(counting.Entries, countq.Entry{Counter: spec})
+	}
+	queuing := countq.Campaign{Base: base, Name: "queuing"}
+	for i, info := range countq.Queues() {
+		if info.Name == "swap" {
+			queuing.Baseline = i
+		}
+		queuing.Entries = append(queuing.Entries, countq.Entry{Queue: info.Name})
+	}
 	t := &Table{
 		ID:      "E11",
 		Title:   "goroutine counters vs queuing structures under the ramp scenario (validated)",
 		Ref:     "paper thesis on shared memory",
-		Columns: []string{"structure", "kind", "phase", "ns/op", "p50 ns", "p99 ns", "fairness"},
+		Columns: []string{"structure", "kind", "phase", "ns/op", "p50 ns", "p99 ns", "fairness", "p99 vs base"},
 	}
-	run := func(kind string, w countq.Workload) error {
-		w.Scenario, w.Goroutines, w.Ops, w.Seed = scenario, gmax, ops, cfg.Seed
-		m, err := countq.Run(w)
-		if err != nil {
-			return err
-		}
-		for i := range m.Phases {
-			p := &m.Phases[i]
-			lat := p.CounterLat
-			if kind == "queuing" {
-				lat = p.QueueLat
+	addRows := func(kind string, cmp *countq.Comparison) error {
+		for i := range cmp.Results {
+			r := &cmp.Results[i]
+			for j := range r.Metrics.Phases {
+				p := &r.Metrics.Phases[j]
+				lat := p.CounterLat
+				if kind == "queuing" {
+					lat = p.QueueLat
+				}
+				if lat == nil {
+					return fmt.Errorf("%s phase %q has no %s latency samples", r.Label, p.Name, kind)
+				}
+				delta := "-"
+				if d := r.PhaseDeltas[j].P99Ratio; d > 0 {
+					delta = fmt.Sprintf("%.2fx", d)
+				}
+				t.AddRow(r.Label, kind, p.Name,
+					fmt.Sprintf("%.1f", p.NsPerOp()),
+					fmt.Sprintf("%.0f", lat.P50Ns),
+					fmt.Sprintf("%.0f", lat.P99Ns),
+					fmt.Sprintf("%.2f", p.Fairness),
+					delta)
 			}
-			if lat == nil {
-				return fmt.Errorf("phase %q has no %s latency samples", p.Name, kind)
-			}
-			t.AddRow(w.Counter+w.Queue, kind, p.Name,
-				fmt.Sprintf("%.1f", p.NsPerOp()),
-				fmt.Sprintf("%.0f", lat.P50Ns),
-				fmt.Sprintf("%.0f", lat.P99Ns),
-				fmt.Sprintf("%.2f", p.Fairness))
 		}
 		return nil
 	}
-	for _, info := range countq.Counters() {
-		if err := run("counting", countq.Workload{Counter: info.Name}); err != nil {
-			return nil, fmt.Errorf("E11 %s: %w", info.Name, err)
+	for _, kc := range []struct {
+		kind string
+		c    countq.Campaign
+	}{{"counting", counting}, {"queuing", queuing}} {
+		cmp, err := kc.c.Run()
+		if err != nil {
+			return nil, fmt.Errorf("E11 %s: %w", kc.kind, err)
+		}
+		if err := addRows(kc.kind, cmp); err != nil {
+			return nil, fmt.Errorf("E11 %s: %w", kc.kind, err)
 		}
 	}
-	for _, spec := range variants {
-		if err := run("counting", countq.Workload{Counter: spec}); err != nil {
-			return nil, fmt.Errorf("E11 %s: %w", spec, err)
-		}
-	}
-	for _, info := range countq.Queues() {
-		if err := run("queuing", countq.Workload{Queue: info.Name}); err != nil {
-			return nil, fmt.Errorf("E11 %s: %w", info.Name, err)
-		}
-	}
-	t.AddNote("single-word counting (fetch-add) and queuing (swap) are equally cheap in shared memory; the paper's separation appears in the *scalable* structures: the counting network pays Θ(log² w) locked balancers per count and the sharded counter gives up linearizability for its throughput, while queuing never needs more than the one swap — and the ramp phases show the gap widening with contention in the tail (p99), not just the mean")
+	t.AddNote("single-word counting (fetch-add) and queuing (swap) are equally cheap in shared memory; the paper's separation appears in the *scalable* structures: the counting network pays Θ(log² w) locked balancers per count and the sharded counter gives up linearizability for its throughput, while queuing never needs more than the one swap — and the ramp phases show the gap widening with contention in the tail (p99 vs base), not just the mean")
 	return t, nil
 }
