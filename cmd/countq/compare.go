@@ -5,55 +5,119 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/countq"
 )
 
+// parseInterleaved parses args with fs, allowing flags and positional
+// arguments in any order ("countq compare SPEC -scenario ramp" works like
+// "countq compare -scenario ramp SPEC"): the standard flag package stops
+// at the first positional, so each stop collects it and parsing resumes.
+func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
+	var positional []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		rest := fs.Args()
+		if len(rest) == 0 {
+			return positional, nil
+		}
+		positional = append(positional, rest[0])
+		args = rest[1:]
+	}
+}
+
+// parseEntry turns one positional compare argument into a campaign entry:
+// a structure spec, optionally followed by '@'-separated per-entry
+// overrides ("sharded?shards=8@batch=64@g=4"). Overrides declare
+// asymmetric comparisons — batched vs unbatched, pipelined vs synchronous
+// — at equal op budgets; batch=1 forces the single-Inc path even when the
+// campaign base batches.
+func parseEntry(arg, sharedQueue string, asQueue bool) (countq.Entry, error) {
+	parts := strings.Split(arg, "@")
+	e := countq.Entry{Counter: parts[0], Queue: sharedQueue}
+	if asQueue {
+		e = countq.Entry{Queue: parts[0]}
+	}
+	for _, ov := range parts[1:] {
+		k, v, ok := strings.Cut(ov, "=")
+		if !ok || v == "" {
+			return countq.Entry{}, fmt.Errorf("malformed per-entry override %q (want g=N, batch=N or inflight=N)", ov)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return countq.Entry{}, fmt.Errorf("per-entry override %q is not a positive integer", ov)
+		}
+		switch k {
+		case "g":
+			e.Goroutines = n
+		case "batch":
+			e.Batch = n
+		case "inflight":
+			e.Inflight = n
+		default:
+			return countq.Entry{}, fmt.Errorf("unknown per-entry override %q (g|batch|inflight)", k)
+		}
+	}
+	return e, nil
+}
+
 // compareCampaignCmd runs a campaign: the positional structure specs under
 // one scenario's byte-identical phase sequence and a shared seed, printing
-// per-phase metrics plus delta ratios against the baseline spec.
+// per-phase metrics plus delta ratios against the baseline spec. Specs are
+// given as separate arguments or comma-separated in one
+// ("sharded?shards=8,sim-counter?hoplat=1us"); flags may follow them.
+// -sweep fans one base spec into entries instead.
 func compareCampaignCmd(args []string) {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	scenario := fs.String("scenario", "", "scenario spec, composable with ';' (e.g. 'ramp?gmax=8;spike'); empty for one steady phase")
 	queue := fs.String("queue", "", "queue spec paired with every counter spec (mixed workloads); empty compares pure counting")
 	queues := fs.Bool("queues", false, "treat the positional specs as queue specs (pure queuing comparison)")
 	baseline := fs.String("baseline", "", "the spec deltas are computed against (default: the first spec)")
+	sweep := fs.String("sweep", "", "fan ONE base spec into campaign entries varying a param: 'param=v1,v2,...' (baseline: the first value)")
 	g := fs.Int("g", 0, "goroutines (0 = GOMAXPROCS); scenarios treat this as the contention ceiling")
 	ops := fs.Int("ops", 1<<17, "total operation budget per structure (scenarios split it across phases)")
 	dur := fs.Duration("dur", 0, "run each structure for a duration instead of an ops budget")
 	mix := fs.Float64("mix", 0.5, "fraction of operations that count when -queue is set (the rest enqueue)")
-	batch := fs.Int("batch", 0, "issue counter ops as IncN block grants of this size (requires BatchIncrementer counters)")
+	batch := fs.Int("batch", 0, "issue counter ops as IncN block grants of this size (requires the batch capability)")
+	inflight := fs.Int("inflight", 0, "keep this many ops outstanding per worker (requires the async capability; 0/1 = synchronous)")
 	sample := fs.Int("sample", 0, "time every Kth operation for per-op latency (0 = default 64)")
-	arrival := fs.String("arrival", "closed", "arrival pattern: closed|uniform|bursty")
+	arrival := fs.String("arrival", "closed", "arrival pattern: closed|uniform|bursty|fairshare")
 	seed := fs.Int64("seed", 1, "workload seed, shared by every structure (identical op and arrival schedules)")
 	asCSV := fs.Bool("csv", false, "emit the comparison as CSV")
 	asMD := fs.Bool("md", false, "emit the comparison as a Markdown table")
 	asJSON := fs.Bool("json", false, "emit the full Comparison as JSON")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: countq compare [flags] <spec> <spec> ...")
+		fmt.Fprintln(os.Stderr, "usage: countq compare [flags] <spec>[@g=N][@batch=N][@inflight=N] <spec> ...")
+		fmt.Fprintln(os.Stderr, "specs may also be comma-separated in one argument, and flags may follow them.")
 		fmt.Fprintln(os.Stderr, "runs every spec under the same phase sequence and seed; Δ columns are")
 		fmt.Fprintln(os.Stderr, "this-structure / baseline ratios (Δns/op and Δp99 below 1 are faster,")
-		fmt.Fprintln(os.Stderr, "Δtput above 1 is higher throughput).")
+		fmt.Fprintln(os.Stderr, "Δtput above 1 is higher throughput). '@' overrides declare per-entry")
+		fmt.Fprintln(os.Stderr, "asymmetries (batched vs unbatched, pipelined vs sync) at equal budgets;")
+		fmt.Fprintln(os.Stderr, "-sweep fans one base spec over a parameter list instead.")
+		fmt.Fprintln(os.Stderr, "")
+		fmt.Fprintln(os.Stderr, "cp50/cp99 are coordinated-omission-corrected quantiles: completion time")
+		fmt.Fprintln(os.Stderr, "against the intended start of the arrival schedule, recorded under open")
+		fmt.Fprintln(os.Stderr, "arrivals (uniform|bursty) and -inflight pipelining; '-' for plain closed")
+		fmt.Fprintln(os.Stderr, "loops, where they would equal the service-time quantiles.")
 		fmt.Fprintln(os.Stderr, "")
 		fmt.Fprintln(os.Stderr, "The fair column is min/max per-worker ops (1 = perfectly fair service).")
 		fmt.Fprintln(os.Stderr, "On a single-core host (GOMAXPROCS=1) closed-loop phases legitimately")
 		fmt.Fprintln(os.Stderr, "report fairness ≈ 0 — one worker drains the shared op pool per")
 		fmt.Fprintln(os.Stderr, "timeslice, which is the scheduler's doing, not the structure's. Compare")
 		fmt.Fprintln(os.Stderr, "fairness across structures only when GOMAXPROCS > 1 (e.g. run with")
-		fmt.Fprintln(os.Stderr, "GOMAXPROCS=8) and read single-core values as 'not meaningful'.")
+		fmt.Fprintln(os.Stderr, "GOMAXPROCS=8), or use -arrival fairshare, whose rotating per-worker")
+		fmt.Fprintln(os.Stderr, "grant makes the number scheduler-independent on any host.")
 		fmt.Fprintln(os.Stderr, "")
 		fmt.Fprintln(os.Stderr, "flags:")
 		fs.PrintDefaults()
 	}
-	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
-	}
-	specs := fs.Args()
-	if len(specs) < 2 {
-		fmt.Fprintln(os.Stderr, "countq compare: need at least two structure specs to compare")
-		fs.Usage()
-		os.Exit(2)
+	positional, err := parseInterleaved(fs, args)
+	if err != nil {
+		os.Exit(2) // unreachable with ExitOnError; kept for other policies
 	}
 	arr, err := countq.ParseArrival(*arrival)
 	if err != nil {
@@ -64,12 +128,52 @@ func compareCampaignCmd(args []string) {
 		fmt.Fprintln(os.Stderr, "countq compare: -queues (positional queue specs) and -queue (shared queue) are mutually exclusive")
 		os.Exit(2)
 	}
+	// Expand comma-separated spec lists, then '@' overrides.
+	var specArgs []string
+	for _, arg := range positional {
+		for _, part := range strings.Split(arg, ",") {
+			if part == "" {
+				fmt.Fprintf(os.Stderr, "countq compare: empty spec in %q\n", arg)
+				os.Exit(2)
+			}
+			specArgs = append(specArgs, part)
+		}
+	}
+	if *sweep != "" {
+		if len(specArgs) != 1 {
+			fmt.Fprintf(os.Stderr, "countq compare: -sweep fans one base spec into entries; got %d specs %v\n", len(specArgs), specArgs)
+			os.Exit(2)
+		}
+		if err := checkSweepShadow(*sweep, *scenario); err != nil {
+			fmt.Fprintln(os.Stderr, "countq compare:", err)
+			os.Exit(2)
+		}
+		base, overrides, _ := strings.Cut(specArgs[0], "@")
+		swept, err := sweepSpecs(base, *sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countq compare:", err)
+			os.Exit(2)
+		}
+		specArgs = specArgs[:0]
+		for _, s := range swept {
+			if overrides != "" {
+				s += "@" + overrides
+			}
+			specArgs = append(specArgs, s)
+		}
+	}
+	if len(specArgs) < 2 {
+		fmt.Fprintln(os.Stderr, "countq compare: need at least two structure specs to compare")
+		fs.Usage()
+		os.Exit(2)
+	}
 	c := countq.Campaign{
 		Base: countq.Workload{
 			Scenario:      *scenario,
 			Goroutines:    *g,
 			Ops:           *ops,
 			Batch:         *batch,
+			Inflight:      *inflight,
 			LatencySample: *sample,
 			Arrival:       arr,
 			Seed:          *seed,
@@ -82,12 +186,13 @@ func compareCampaignCmd(args []string) {
 		c.Base.Mix = *mix
 	}
 	baselineIdx := -1
-	for i, spec := range specs {
-		e := countq.Entry{Counter: spec, Queue: *queue}
-		if *queues {
-			e = countq.Entry{Queue: spec}
+	for i, arg := range specArgs {
+		e, err := parseEntry(arg, *queue, *queues)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countq compare:", err)
+			os.Exit(2)
 		}
-		if *baseline != "" && (spec == *baseline || e.Label() == *baseline) {
+		if *baseline != "" && (arg == *baseline || e.Label() == *baseline) {
 			baselineIdx = i
 		}
 		c.Entries = append(c.Entries, e)
@@ -96,7 +201,7 @@ func compareCampaignCmd(args []string) {
 	case baselineIdx >= 0:
 		c.Baseline = baselineIdx
 	case *baseline != "":
-		fmt.Fprintf(os.Stderr, "countq compare: -baseline %q is not among the compared specs %v\n", *baseline, specs)
+		fmt.Fprintf(os.Stderr, "countq compare: -baseline %q is not among the compared specs %v\n", *baseline, specArgs)
 		os.Exit(2)
 	}
 	cmp, err := c.Run()
@@ -127,8 +232,8 @@ func compareCampaignCmd(args []string) {
 }
 
 // printComparison renders the campaign's human-readable per-phase delta
-// table: every structure under the identical phase sequence, with ratio
-// columns against the baseline.
+// table: every structure under the identical phase sequence, with
+// corrected-latency columns and ratio columns against the baseline.
 func printComparison(w io.Writer, cmp *countq.Comparison) {
 	scenario := cmp.Scenario
 	if scenario == "" {
@@ -136,25 +241,26 @@ func printComparison(w io.Writer, cmp *countq.Comparison) {
 	}
 	fmt.Fprintf(w, "campaign scenario=%s goroutines=%d seed=%d baseline=%s\n",
 		scenario, cmp.Goroutines, cmp.Seed, cmp.Baseline)
-	fmt.Fprintf(w, "%-28s %-12s %8s %9s %8s %8s %8s %5s  %7s %7s %7s\n",
-		"structure", "phase", "ops", "ns/op", "Mops/s", "p50", "p99", "fair", "Δns/op", "Δp99", "Δtput")
+	fmt.Fprintf(w, "%-28s %-12s %8s %9s %8s %8s %8s %8s %8s %5s  %7s %7s %7s\n",
+		"structure", "phase", "ops", "ns/op", "Mops/s", "p50", "p99", "cp50", "cp99", "fair", "Δns/op", "Δp99", "Δtput")
 	cell := func(v float64) string {
 		if v == 0 {
 			return "-"
 		}
 		return fmt.Sprintf("%.2fx", v)
 	}
-	row := func(label, phase string, ops int, nsPerOp, opsPerSec float64, cl, ql *countq.LatencyStats, fair float64, d countq.Delta) {
-		lat := cl
+	latPair := func(c, q *countq.LatencyStats) (string, string) {
+		lat := countq.PickLatency(c, q)
 		if lat == nil {
-			lat = ql
+			return "-", "-"
 		}
-		p50, p99 := "-", "-"
-		if lat != nil {
-			p50, p99 = fmt.Sprintf("%.0f", lat.P50Ns), fmt.Sprintf("%.0f", lat.P99Ns)
-		}
-		fmt.Fprintf(w, "%-28s %-12s %8d %9.1f %8.2f %8s %8s %5.2f  %7s %7s %7s\n",
-			label, phase, ops, nsPerOp, opsPerSec/1e6, p50, p99, fair,
+		return fmt.Sprintf("%.0f", lat.P50Ns), fmt.Sprintf("%.0f", lat.P99Ns)
+	}
+	row := func(label, phase string, ops int, nsPerOp, opsPerSec float64, cl, ql, cc, qc *countq.LatencyStats, fair float64, d countq.Delta) {
+		p50, p99 := latPair(cl, ql)
+		cp50, cp99 := latPair(cc, qc)
+		fmt.Fprintf(w, "%-28s %-12s %8d %9.1f %8.2f %8s %8s %8s %8s %5.2f  %7s %7s %7s\n",
+			label, phase, ops, nsPerOp, opsPerSec/1e6, p50, p99, cp50, cp99, fair,
 			cell(d.NsPerOpRatio), cell(d.P99Ratio), cell(d.ThroughputRatio))
 	}
 	hasWarmup := false
@@ -171,16 +277,17 @@ func printComparison(w io.Writer, cmp *countq.Comparison) {
 				name += "~"
 				hasWarmup = true
 			}
-			row(label, name, p.Ops, p.NsPerOp(), p.OpsPerSec(), p.CounterLat, p.QueueLat, p.Fairness, r.PhaseDeltas[j])
+			row(label, name, p.Ops, p.NsPerOp(), p.OpsPerSec(), p.CounterLat, p.QueueLat, p.CounterCorr, p.QueueCorr, p.Fairness, r.PhaseDeltas[j])
 		}
 		a := &r.Metrics.Aggregate
-		row(label, "aggregate", a.Ops, a.NsPerOp(), a.OpsPerSec(), a.CounterLat, a.QueueLat, a.Fairness, r.AggregateDelta)
+		row(label, "aggregate", a.Ops, a.NsPerOp(), a.OpsPerSec(), a.CounterLat, a.QueueLat, a.CounterCorr, a.QueueCorr, a.Fairness, r.AggregateDelta)
 	}
 	notes := []string{"(*) baseline structure; Δ columns are this/baseline ratios"}
 	if hasWarmup {
 		notes = append(notes, "(~) warmup phase, excluded from the aggregate")
 	}
 	fmt.Fprintln(w, strings.Join(notes, "; "))
+	fmt.Fprintln(w, "cp50/cp99 are coordinated-omission-corrected quantiles (completion vs intended start); '-' for plain closed loops")
 	fmt.Fprintln(w, "every structure validated independently: counts distinct and gap-free, predecessors one total order")
 	fmt.Fprintln(w, "fairness is min/max worker ops; ≈ 0 on a single-core host is the scheduler, not the structure (see compare -h)")
 }

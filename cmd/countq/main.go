@@ -84,10 +84,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: countq {list [-v] | scenarios [-v] | run [-quick] [-seed N] <ids...|all>
-              | compare [-scenario SPEC] [-queue SPEC] [-baseline SPEC] [-g N] [-ops N] [-dur D] [-mix F] [-batch N] [-sample K] [-arrival A] [-seed N] [-csv|-md|-json] <counter-spec> <counter-spec> ...
+              | compare [-scenario SPEC] [-queue SPEC] [-baseline SPEC] [-sweep P=V1,V2,...] [-g N] [-ops N] [-dur D] [-mix F] [-batch N] [-inflight K] [-sample K] [-arrival A] [-seed N] [-csv|-md|-json] <spec>[@g=N][@batch=N][@inflight=K] ...
               | benchdiff [-noise F] OLD.json NEW.json
               | topo [-topo T] [-n N] | trace [-n N] [-reqs K]
-              | drive [-counter SPEC] [-queue SPEC] [-scenario SPEC] [-g N] [-ops N] [-dur D] [-mix F] [-batch N] [-sample K] [-arrival A] [-seed N] [-sweep P=V1,V2,...] [-json]}`)
+              | drive [-counter SPEC] [-queue SPEC] [-scenario SPEC] [-g N] [-ops N] [-dur D] [-mix F] [-batch N] [-inflight K] [-sample K] [-arrival A] [-seed N] [-sweep P=V1,V2,...] [-json]}`)
 }
 
 // scenariosArgs parses the scenarios flags and prints the listing.
@@ -148,6 +148,13 @@ func listCmd(w io.Writer, verbose bool) {
 			listParams(w, info.Params)
 		}
 	}
+	fmt.Fprintln(w, "\nstructures (countq registry v3; kinds and session capabilities):")
+	for _, info := range countq.Structures() {
+		fmt.Fprintf(w, "  %-12s %-14s caps=%-14s %s\n", info.Name, info.Kinds, info.Caps, info.Summary)
+		if verbose {
+			listParams(w, info.Params)
+		}
+	}
 }
 
 // listParams prints one structure's declared parameters, -v style.
@@ -173,9 +180,10 @@ func driveCmd(args []string) {
 	ops := fs.Int("ops", 1<<17, "total operation budget (scenarios split it across phases)")
 	dur := fs.Duration("dur", 0, "run for a duration instead of an ops budget")
 	mix := fs.Float64("mix", 0.5, "fraction of operations that count (the rest enqueue; 0 = pure queue)")
-	batch := fs.Int("batch", 0, "issue counter ops as IncN block grants of this size (requires a BatchIncrementer counter)")
+	batch := fs.Int("batch", 0, "issue counter ops as IncN block grants of this size (requires the batch capability)")
+	inflight := fs.Int("inflight", 0, "keep this many ops outstanding per worker (requires the async capability; 0/1 = synchronous)")
 	sample := fs.Int("sample", 0, "time every Kth operation for per-op latency (0 = default 64)")
-	arrival := fs.String("arrival", "closed", "arrival pattern: closed|uniform|bursty")
+	arrival := fs.String("arrival", "closed", "arrival pattern: closed|uniform|bursty|fairshare")
 	seed := fs.Int64("seed", 1, "workload seed")
 	sweep := fs.String("sweep", "", "sweep one counter param over values, e.g. 'batch=16,64,256'")
 	asJSON := fs.Bool("json", false, "emit the full metrics as JSON")
@@ -193,6 +201,7 @@ func driveCmd(args []string) {
 		Ops:           *ops,
 		Mix:           *mix,
 		Batch:         *batch,
+		Inflight:      *inflight,
 		LatencySample: *sample,
 		Arrival:       arr,
 		Seed:          *seed,
@@ -288,12 +297,13 @@ func printMetrics(w io.Writer, m *countq.Metrics) {
 		head += " scenario=" + m.Scenario
 	}
 	fmt.Fprintf(w, "%s goroutines=%d seed=%d elapsed=%v\n", head, m.Goroutines, m.Seed, m.Elapsed.Round(time.Microsecond))
-	fmt.Fprintf(w, "%-12s %5s %5s %8s %9s %10s  %-30s %-30s %5s\n",
-		"phase", "g", "mix", "ops", "ns/op", "Mops/s", "counting p50/p99/p999", "queuing p50/p99/p999", "fair")
-	row := func(name string, g int, mix string, ops int, nsPerOp, mopsPerSec float64, cl, ql *countq.LatencyStats, fair string) {
-		fmt.Fprintf(w, "%-12s %5d %5s %8d %9.1f %10.2f  %-30s %-30s %5s\n",
-			name, g, mix, ops, nsPerOp, mopsPerSec, latCell(cl), latCell(ql), fair)
+	fmt.Fprintf(w, "%-12s %5s %5s %8s %9s %10s  %-30s %-30s %-24s %5s\n",
+		"phase", "g", "mix", "ops", "ns/op", "Mops/s", "counting p50/p99/p999", "queuing p50/p99/p999", "corrected p50/p99", "fair")
+	row := func(name string, g int, mix string, ops int, nsPerOp, mopsPerSec float64, cl, ql, cc, qc *countq.LatencyStats, fair string) {
+		fmt.Fprintf(w, "%-12s %5d %5s %8d %9.1f %10.2f  %-30s %-30s %-24s %5s\n",
+			name, g, mix, ops, nsPerOp, mopsPerSec, latCell(cl), latCell(ql), corrCell(cc, qc), fair)
 	}
+	hasCorr := false
 	for i := range m.Phases {
 		p := &m.Phases[i]
 		name := p.Name
@@ -304,14 +314,17 @@ func printMetrics(w io.Writer, m *countq.Metrics) {
 		if p.Elapsed > 0 {
 			tput = float64(p.Ops) / p.Elapsed.Seconds() / 1e6
 		}
-		row(name, p.Goroutines, fmt.Sprintf("%.2f", p.Mix), p.Ops, p.NsPerOp(), tput, p.CounterLat, p.QueueLat, fmt.Sprintf("%.2f", p.Fairness))
+		if p.CounterCorr != nil || p.QueueCorr != nil {
+			hasCorr = true
+		}
+		row(name, p.Goroutines, fmt.Sprintf("%.2f", p.Mix), p.Ops, p.NsPerOp(), tput, p.CounterLat, p.QueueLat, p.CounterCorr, p.QueueCorr, fmt.Sprintf("%.2f", p.Fairness))
 	}
 	a := &m.Aggregate
 	tput := 0.0
 	if a.Elapsed > 0 {
 		tput = float64(a.Ops) / a.Elapsed.Seconds() / 1e6
 	}
-	row("aggregate", m.Goroutines, "", a.Ops, a.NsPerOp(), tput, a.CounterLat, a.QueueLat, fmt.Sprintf("%.2f", a.Fairness))
+	row("aggregate", m.Goroutines, "", a.Ops, a.NsPerOp(), tput, a.CounterLat, a.QueueLat, a.CounterCorr, a.QueueCorr, fmt.Sprintf("%.2f", a.Fairness))
 	if len(a.Timeline) > 1 {
 		fmt.Fprintf(w, "throughput timeline (Mops/s): %s\n", timelineCells(a.Timeline))
 	}
@@ -320,6 +333,9 @@ func printMetrics(w io.Writer, m *countq.Metrics) {
 			fmt.Fprintln(w, "(*) warmup phase, excluded from the aggregate")
 			break
 		}
+	}
+	if hasCorr {
+		fmt.Fprintln(w, "corrected p50/p99: coordinated-omission-corrected (completion vs the arrival schedule's intended start)")
 	}
 	fmt.Fprintln(w, "validated: counts distinct and gap-free, predecessors form one total order")
 }
@@ -331,6 +347,17 @@ func latCell(l *countq.LatencyStats) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.0f/%.0f/%.0f ns", l.P50Ns, l.P99Ns, l.P999Ns)
+}
+
+// corrCell renders the coordinated-omission-corrected quantiles, counter
+// side first (the paper's expensive side), or "-" for plain closed loops
+// where none were recorded.
+func corrCell(c, q *countq.LatencyStats) string {
+	l := countq.PickLatency(c, q)
+	if l == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f/%.0f ns", l.P50Ns, l.P99Ns)
 }
 
 // timelineCells renders the aggregate throughput timeline as one number

@@ -17,19 +17,60 @@ import (
 type Entry struct {
 	Counter string `json:"counter,omitempty"`
 	Queue   string `json:"queue,omitempty"`
+	// Goroutines, Batch and Inflight, when > 0, override the base
+	// workload's values in every phase for this entry alone — declared
+	// asymmetry for comparisons like "batched sharded vs unbatched atomic
+	// at equal ops" (Batch: 1 forces the single-Inc path even when the
+	// base batches; goroutine ramps are flattened to the override). An
+	// overridden entry no longer runs the byte-identical phase shapes the
+	// plain comparison guarantees; its deltas read as "this configuration
+	// vs the baseline's", which is exactly what was asked.
+	Goroutines int `json:"goroutines,omitempty"`
+	Batch      int `json:"batch,omitempty"`
+	Inflight   int `json:"inflight,omitempty"`
 }
 
 // Label is the entry's display and matching key: the counter spec, the
-// queue spec, or "counter+queue" for a mixed entry.
+// queue spec, or "counter+queue" for a mixed entry, with any per-entry
+// overrides appended ("atomic@g=4@batch=64").
 func (e Entry) Label() string {
+	var label string
 	switch {
 	case e.Counter != "" && e.Queue != "":
-		return e.Counter + "+" + e.Queue
+		label = e.Counter + "+" + e.Queue
 	case e.Counter != "":
-		return e.Counter
+		label = e.Counter
 	default:
-		return e.Queue
+		label = e.Queue
 	}
+	if e.Goroutines > 0 {
+		label += fmt.Sprintf("@g=%d", e.Goroutines)
+	}
+	if e.Batch > 0 {
+		label += fmt.Sprintf("@batch=%d", e.Batch)
+	}
+	if e.Inflight > 0 {
+		label += fmt.Sprintf("@inflight=%d", e.Inflight)
+	}
+	return label
+}
+
+// applyOverrides rewrites a copy of the shared phase sequence with the
+// entry's declared asymmetries.
+func (e Entry) applyOverrides(phases []Phase) []Phase {
+	out := append([]Phase(nil), phases...)
+	for i := range out {
+		if e.Goroutines > 0 {
+			out[i].Goroutines = e.Goroutines
+		}
+		if e.Batch > 0 {
+			out[i].Batch = e.Batch
+		}
+		if e.Inflight > 0 {
+			out[i].Inflight = e.Inflight
+		}
+	}
+	return out
 }
 
 // Campaign runs one scenario over a set of structure specs — the paper's
@@ -161,7 +202,7 @@ func (c Campaign) Run() (*Comparison, error) {
 	for _, e := range c.Entries {
 		w := base
 		w.Counter, w.Queue = e.Counter, e.Queue
-		m, err := runSpec(w, scenarioSpec, append([]Phase(nil), phases...))
+		m, err := runSpec(w, scenarioSpec, e.applyOverrides(phases))
 		if err != nil {
 			return nil, fmt.Errorf("countq: campaign entry %q: %w", e.Label(), err)
 		}
@@ -225,9 +266,11 @@ func latRatio(c, bc, q, bq *LatencyStats, pick func(*LatencyStats) float64) floa
 // phase plus an aggregate row per structure, identical columns throughout
 // so the file loads straight into a dataframe.
 var csvHeader = []string{
-	"structure", "phase", "warmup", "goroutines", "mix", "arrival", "batch",
+	"structure", "phase", "warmup", "goroutines", "mix", "arrival", "batch", "inflight",
 	"ops", "elapsed_ns", "ns_per_op", "ops_per_sec",
-	"counter_p50_ns", "counter_p99_ns", "queue_p50_ns", "queue_p99_ns", "fairness",
+	"counter_p50_ns", "counter_p99_ns", "queue_p50_ns", "queue_p99_ns",
+	"counter_corr_p50_ns", "counter_corr_p99_ns", "queue_corr_p50_ns", "queue_corr_p99_ns",
+	"fairness",
 	"ns_per_op_ratio", "throughput_ratio", "p50_ratio", "p99_ratio", "fairness_ratio",
 }
 
@@ -247,13 +290,17 @@ func (c *Comparison) MarshalCSV() ([]byte, error) {
 			d := r.PhaseDeltas[j]
 			row := []string{
 				r.Label, p.Name, strconv.FormatBool(p.Warmup),
-				strconv.Itoa(p.Goroutines), num(p.Mix), p.Arrival, strconv.Itoa(p.Batch),
+				strconv.Itoa(p.Goroutines), num(p.Mix), p.Arrival, strconv.Itoa(p.Batch), strconv.Itoa(p.Inflight),
 				strconv.Itoa(p.Ops), strconv.FormatInt(p.Elapsed.Nanoseconds(), 10),
 				num(p.NsPerOp()), num(p.OpsPerSec()),
 				latNum(p.CounterLat, func(l *LatencyStats) float64 { return l.P50Ns }),
 				latNum(p.CounterLat, func(l *LatencyStats) float64 { return l.P99Ns }),
 				latNum(p.QueueLat, func(l *LatencyStats) float64 { return l.P50Ns }),
 				latNum(p.QueueLat, func(l *LatencyStats) float64 { return l.P99Ns }),
+				latNum(p.CounterCorr, func(l *LatencyStats) float64 { return l.P50Ns }),
+				latNum(p.CounterCorr, func(l *LatencyStats) float64 { return l.P99Ns }),
+				latNum(p.QueueCorr, func(l *LatencyStats) float64 { return l.P50Ns }),
+				latNum(p.QueueCorr, func(l *LatencyStats) float64 { return l.P99Ns }),
 				num(p.Fairness),
 				ratioNum(d.NsPerOpRatio), ratioNum(d.ThroughputRatio),
 				ratioNum(d.P50Ratio), ratioNum(d.P99Ratio), ratioNum(d.FairnessRatio),
@@ -266,13 +313,17 @@ func (c *Comparison) MarshalCSV() ([]byte, error) {
 		d := r.AggregateDelta
 		row := []string{
 			r.Label, "aggregate", "false",
-			strconv.Itoa(r.Metrics.Goroutines), "", "", "",
+			strconv.Itoa(r.Metrics.Goroutines), "", "", "", "",
 			strconv.Itoa(a.Ops), strconv.FormatInt(a.Elapsed.Nanoseconds(), 10),
 			num(a.NsPerOp()), num(a.OpsPerSec()),
 			latNum(a.CounterLat, func(l *LatencyStats) float64 { return l.P50Ns }),
 			latNum(a.CounterLat, func(l *LatencyStats) float64 { return l.P99Ns }),
 			latNum(a.QueueLat, func(l *LatencyStats) float64 { return l.P50Ns }),
 			latNum(a.QueueLat, func(l *LatencyStats) float64 { return l.P99Ns }),
+			latNum(a.CounterCorr, func(l *LatencyStats) float64 { return l.P50Ns }),
+			latNum(a.CounterCorr, func(l *LatencyStats) float64 { return l.P99Ns }),
+			latNum(a.QueueCorr, func(l *LatencyStats) float64 { return l.P50Ns }),
+			latNum(a.QueueCorr, func(l *LatencyStats) float64 { return l.P99Ns }),
 			num(a.Fairness),
 			ratioNum(d.NsPerOpRatio), ratioNum(d.ThroughputRatio),
 			ratioNum(d.P50Ratio), ratioNum(d.P99Ratio), ratioNum(d.FairnessRatio),
@@ -299,22 +350,23 @@ func (c *Comparison) MarshalMarkdown() ([]byte, error) {
 	}
 	fmt.Fprintf(&buf, "%s\n\n", head)
 	fmt.Fprintf(&buf, "scenario `%s` · goroutines %d · seed %d · baseline `%s`\n\n", orDash(c.Scenario), c.Goroutines, c.Seed, c.Baseline)
-	fmt.Fprintln(&buf, "| structure | phase | ops | ns/op | Mops/s | p50 ns | p99 ns | fairness | Δns/op | Δp99 | Δtput |")
-	fmt.Fprintln(&buf, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
-	row := func(label, phase string, warm bool, ops int, nsPerOp, opsPerSec float64, cl, ql *LatencyStats, fair float64, d Delta) {
+	fmt.Fprintln(&buf, "| structure | phase | ops | ns/op | Mops/s | p50 ns | p99 ns | corr p50 | corr p99 | fairness | Δns/op | Δp99 | Δtput |")
+	fmt.Fprintln(&buf, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+	latPair := func(c, q *LatencyStats) (string, string) {
+		lat := PickLatency(c, q)
+		if lat == nil {
+			return "–", "–"
+		}
+		return fmt.Sprintf("%.0f", lat.P50Ns), fmt.Sprintf("%.0f", lat.P99Ns)
+	}
+	row := func(label, phase string, warm bool, ops int, nsPerOp, opsPerSec float64, cl, ql, cc, qc *LatencyStats, fair float64, d Delta) {
 		if warm {
 			phase += "\\*"
 		}
-		lat := cl
-		if lat == nil {
-			lat = ql
-		}
-		p50, p99 := "–", "–"
-		if lat != nil {
-			p50, p99 = fmt.Sprintf("%.0f", lat.P50Ns), fmt.Sprintf("%.0f", lat.P99Ns)
-		}
-		fmt.Fprintf(&buf, "| %s | %s | %d | %.1f | %.2f | %s | %s | %.2f | %s | %s | %s |\n",
-			label, phase, ops, nsPerOp, opsPerSec/1e6, p50, p99, fair,
+		p50, p99 := latPair(cl, ql)
+		cp50, cp99 := latPair(cc, qc)
+		fmt.Fprintf(&buf, "| %s | %s | %d | %.1f | %.2f | %s | %s | %s | %s | %.2f | %s | %s | %s |\n",
+			label, phase, ops, nsPerOp, opsPerSec/1e6, p50, p99, cp50, cp99, fair,
 			mdRatio(d.NsPerOpRatio), mdRatio(d.P99Ratio), mdRatio(d.ThroughputRatio))
 	}
 	for i := range c.Results {
@@ -325,15 +377,19 @@ func (c *Comparison) MarshalMarkdown() ([]byte, error) {
 		}
 		for j := range r.Metrics.Phases {
 			p := &r.Metrics.Phases[j]
-			row(label, p.Name, p.Warmup, p.Ops, p.NsPerOp(), p.OpsPerSec(), p.CounterLat, p.QueueLat, p.Fairness, r.PhaseDeltas[j])
+			row(label, p.Name, p.Warmup, p.Ops, p.NsPerOp(), p.OpsPerSec(), p.CounterLat, p.QueueLat, p.CounterCorr, p.QueueCorr, p.Fairness, r.PhaseDeltas[j])
 		}
 		a := &r.Metrics.Aggregate
-		row(label, "**aggregate**", false, a.Ops, a.NsPerOp(), a.OpsPerSec(), a.CounterLat, a.QueueLat, a.Fairness, r.AggregateDelta)
+		row(label, "**aggregate**", false, a.Ops, a.NsPerOp(), a.OpsPerSec(), a.CounterLat, a.QueueLat, a.CounterCorr, a.QueueCorr, a.Fairness, r.AggregateDelta)
 	}
 	fmt.Fprintln(&buf, "\nΔ columns are ratios against the baseline's same phase (Δns/op and Δp99 below 1 are"+
 		" faster, Δtput above 1 is higher throughput); \\* marks warmup phases, excluded from the aggregate."+
+		" corr p50/p99 are coordinated-omission-corrected quantiles (completion against the intended start of"+
+		" the arrival schedule), recorded under open-loop arrivals and async pipelining — '–' for plain closed"+
+		" loops, where they would equal the service-time quantiles."+
 		" Fairness is min/max worker ops: on a single-core host (GOMAXPROCS=1) closed-loop phases legitimately"+
-		" report ≈ 0 — one worker drains the shared pool per timeslice — so compare fairness only at GOMAXPROCS > 1.")
+		" report ≈ 0 — one worker drains the shared pool per timeslice — so compare fairness only at GOMAXPROCS > 1"+
+		" (or use the fairshare arrival pattern, whose rotating grant is scheduler-independent).")
 	return buf.Bytes(), nil
 }
 

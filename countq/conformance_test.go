@@ -1,0 +1,369 @@
+// Conformance suite for the session API: every structure registered by
+// the real backends (the shared-memory zoo and the sim bridge) is driven
+// through the session layer — sync, handle, batch and async paths — under
+// the race detector, and its validation outcome is checked against the
+// legacy-interface path where one exists. External test package so it can
+// import the registering packages without a cycle.
+package countq_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/countq"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// Keep the zoo and the bridge registered (both self-register on import).
+var (
+	_ = shm.VariantSpecs
+	_ = sim.BridgeConfig{}
+)
+
+// conformanceSpec returns the spec the suite drives a structure with:
+// defaults for the zoo, a free-running network for the bridge so the suite
+// measures correctness, not hop latency.
+func conformanceSpec(info countq.StructureInfo) string {
+	if strings.HasPrefix(info.Name, "sim-") {
+		return info.Name + "?hoplat=0"
+	}
+	return info.Name
+}
+
+// TestSessionConformance drives every registered structure through the
+// workload driver's session paths. Each path ends in the driver's own
+// validation pass (counts gap-free, predecessors one total order), so a
+// pass here proves the session adapters preserve every structure's
+// correctness contract.
+func TestSessionConformance(t *testing.T) {
+	for _, info := range countq.Structures() {
+		info := info
+		t.Run(fmt.Sprintf("%s-%s", info.Name, info.Kinds), func(t *testing.T) {
+			t.Parallel()
+			spec := conformanceSpec(info)
+			base := countq.Workload{Goroutines: 4, Ops: 1200, Seed: 1}
+			if info.Kinds.Has(countq.KindCounter) {
+				base.Counter = spec
+			} else {
+				base.Queue = spec
+			}
+			paths := []countq.Workload{base}
+			if info.Caps.Has(countq.CapBatch) {
+				w := base
+				w.Batch = 16
+				paths = append(paths, w)
+			}
+			if info.Caps.Has(countq.CapAsync) {
+				w := base
+				w.Inflight = 8
+				paths = append(paths, w)
+			}
+			for _, w := range paths {
+				m, err := countq.Run(w)
+				if err != nil {
+					t.Errorf("driver path %+v: %v", w, err)
+					continue
+				}
+				if m.Aggregate.Ops != w.Ops {
+					t.Errorf("driver path %+v: ops = %d, want %d", w, m.Aggregate.Ops, w.Ops)
+				}
+			}
+		})
+	}
+}
+
+// TestSessionMatchesLegacyValidation drives each counter structure twice
+// with the same shape — once through sessions, once through the legacy
+// Counter interface directly — and asserts the two paths reach the same
+// validation verdict. HandleMaker counters exercise their handles on the
+// legacy side, exactly as the pre-session driver did.
+func TestSessionMatchesLegacyValidation(t *testing.T) {
+	const workers, perWorker = 4, 64
+	for _, info := range countq.Structures() {
+		if !info.Kinds.Has(countq.KindCounter) {
+			continue
+		}
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			t.Parallel()
+			spec := conformanceSpec(info)
+
+			// Session path, driven by hand (not via Run) so the suite
+			// checks the session layer itself, not just the driver.
+			st, err := countq.NewStructure(spec, countq.KindCounter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeIfCloser(st)
+			var mu0 sync.Mutex
+			var sessionCounts []int64
+			var wg0 sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg0.Add(1)
+				go func() {
+					defer wg0.Done()
+					sess, err := st.NewSession()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer sess.Close()
+					local := make([]int64, 0, perWorker)
+					for i := 0; i < perWorker; i++ {
+						v, err := sess.Inc(context.Background())
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						local = append(local, v)
+					}
+					mu0.Lock()
+					sessionCounts = append(sessionCounts, local...)
+					mu0.Unlock()
+				}()
+			}
+			wg0.Wait()
+			sessionCounts = append(sessionCounts, countq.DrainCounts(st)...)
+			sessionErr := countq.ValidateCounts(sessionCounts)
+
+			// Legacy path, when the structure has a synchronous view.
+			legacy, err := countq.NewCounter(spec)
+			if err != nil {
+				// Native session structures have no legacy path; the
+				// session verdict stands alone but must be clean.
+				if sessionErr != nil {
+					t.Errorf("session path failed validation: %v", sessionErr)
+				}
+				return
+			}
+			var legacyCounts []int64
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					inc := legacy.Inc
+					var closeHandle func()
+					if hm, ok := legacy.(countq.HandleMaker); ok {
+						h := hm.NewHandle()
+						inc, closeHandle = h.Inc, h.Close
+					}
+					local := make([]int64, 0, perWorker)
+					for i := 0; i < perWorker; i++ {
+						local = append(local, inc())
+					}
+					if closeHandle != nil {
+						closeHandle()
+					}
+					mu.Lock()
+					legacyCounts = append(legacyCounts, local...)
+					mu.Unlock()
+				}()
+			}
+			wg.Wait()
+			if d, ok := legacy.(countq.Drainer); ok {
+				legacyCounts = append(legacyCounts, d.Drain()...)
+			}
+			legacyErr := countq.ValidateCounts(legacyCounts)
+
+			if (sessionErr == nil) != (legacyErr == nil) {
+				t.Errorf("validation verdicts diverge: session %v, legacy %v", sessionErr, legacyErr)
+			}
+			if sessionErr != nil {
+				t.Errorf("session path failed validation: %v", sessionErr)
+			}
+		})
+	}
+}
+
+func closeIfCloser(st countq.Structure) {
+	if c, ok := st.(interface{ Close() error }); ok {
+		c.Close()
+	}
+}
+
+// TestSessionCloseSurrendersLeases pins the handle-lifting contract: a
+// HandleMaker counter driven through sessions must, after every session is
+// closed, drain to a gap-free range — the per-session lease remainder is
+// surrendered by Session.Close exactly as CounterHandle.Close did.
+func TestSessionCloseSurrendersLeases(t *testing.T) {
+	st, err := countq.NewStructure("sharded?shards=4&batch=16", countq.KindCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts []int64
+	for s := 0; s < 3; s++ {
+		sess, err := st.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ { // 10 < 16: a remainder stays leased
+			v, err := sess.Inc(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts = append(counts, v)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts = append(counts, countq.DrainCounts(st)...)
+	if err := countq.ValidateCounts(counts); err != nil {
+		t.Fatalf("drained counts invalid: %v", err)
+	}
+}
+
+// TestAsyncSessionContextCancellation pins the AsyncSession cancellation
+// contract for every async-capable structure: a cancelled context is
+// refused at Submit and at the synchronous entry points, and the session
+// keeps working afterwards.
+func TestAsyncSessionContextCancellation(t *testing.T) {
+	for _, info := range countq.Structures() {
+		if !info.Caps.Has(countq.CapAsync) {
+			continue
+		}
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			kind := countq.KindCounter
+			op := countq.Op{Kind: countq.OpInc, N: 1}
+			if !info.Kinds.Has(countq.KindCounter) {
+				kind = countq.KindQueue
+				op = countq.Op{Kind: countq.OpEnqueue, ID: 7}
+			}
+			st, err := countq.NewStructure(conformanceSpec(info), kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeIfCloser(st)
+			sess, err := st.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+			as, ok := sess.(countq.AsyncSession)
+			if !ok {
+				t.Fatalf("structure %s declares CapAsync but its session is not an AsyncSession", info.Name)
+			}
+			cancelled, cancel := context.WithCancel(context.Background())
+			cancel()
+			if err := as.Submit(cancelled, op); err == nil {
+				t.Error("Submit with a cancelled context accepted")
+			}
+			if kind == countq.KindCounter {
+				if _, err := sess.Inc(cancelled); err == nil {
+					t.Error("Inc with a cancelled context accepted")
+				}
+			} else {
+				if _, err := sess.Enqueue(cancelled, 9); err == nil {
+					t.Error("Enqueue with a cancelled context accepted")
+				}
+			}
+			// The session survives refused submissions: one live round trip.
+			if err := as.Submit(context.Background(), op); err != nil {
+				t.Fatalf("live Submit after cancelled attempts: %v", err)
+			}
+			c := <-as.Completions()
+			if c.Err != nil {
+				t.Fatalf("completion after cancelled attempts: %v", c.Err)
+			}
+		})
+	}
+}
+
+// TestSessionKindGating pins ErrUnsupported: the wrong op kind on a
+// single-kind structure's session reports the sentinel, for every
+// registered structure.
+func TestSessionKindGating(t *testing.T) {
+	for _, info := range countq.Structures() {
+		if info.Kinds.Has(countq.KindCounter) && info.Kinds.Has(countq.KindQueue) {
+			continue // dual-kind structures gate nothing
+		}
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			kind := countq.KindCounter
+			if !info.Kinds.Has(countq.KindCounter) {
+				kind = countq.KindQueue
+			}
+			st, err := countq.NewStructure(conformanceSpec(info), kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeIfCloser(st)
+			sess, err := st.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+			if kind == countq.KindCounter {
+				_, err = sess.Enqueue(context.Background(), 1)
+			} else {
+				_, err = sess.Inc(context.Background())
+			}
+			if err == nil {
+				t.Fatal("wrong-kind operation accepted")
+			}
+			if !strings.Contains(err.Error(), countq.ErrUnsupported.Error()) {
+				t.Errorf("wrong-kind error does not wrap ErrUnsupported: %v", err)
+			}
+		})
+	}
+}
+
+// TestRegistryV3Catalogue pins the registry-wide invariants the CLI and
+// the benches rely on: every legacy listing entry appears among the
+// structures with the right kind, declared caps match the probeable
+// capability interfaces, and the sim bridge is registered async-capable.
+func TestRegistryV3Catalogue(t *testing.T) {
+	for _, ci := range countq.Counters() {
+		info, ok := countq.LookupStructure(ci.Name, countq.KindCounter)
+		if !ok {
+			t.Errorf("legacy counter %q missing from the structure registry", ci.Name)
+			continue
+		}
+		c, err := ci.New(countq.Options{})
+		if err != nil {
+			t.Errorf("%s: %v", ci.Name, err)
+			continue
+		}
+		_, isBatch := c.(countq.BatchIncrementer)
+		if info.Caps.Has(countq.CapBatch) != isBatch {
+			t.Errorf("%s: CapBatch=%v but BatchIncrementer=%v", ci.Name, info.Caps.Has(countq.CapBatch), isBatch)
+		}
+		_, isHandle := c.(countq.HandleMaker)
+		if info.Caps.Has(countq.CapHandle) != isHandle {
+			t.Errorf("%s: CapHandle=%v but HandleMaker=%v", ci.Name, info.Caps.Has(countq.CapHandle), isHandle)
+		}
+	}
+	for _, qi := range countq.Queues() {
+		if _, ok := countq.LookupStructure(qi.Name, countq.KindQueue); !ok {
+			t.Errorf("legacy queue %q missing from the structure registry", qi.Name)
+		}
+	}
+	for _, name := range []string{"sim-counter", "sim-queue"} {
+		kind := countq.KindCounter
+		if name == "sim-queue" {
+			kind = countq.KindQueue
+		}
+		info, ok := countq.LookupStructure(name, kind)
+		if !ok {
+			t.Errorf("%s not registered", name)
+			continue
+		}
+		if !info.Caps.Has(countq.CapAsync) {
+			t.Errorf("%s does not declare CapAsync", name)
+		}
+	}
+	// The name "mutex" is registered on both sides; the kind disambiguates.
+	if _, ok := countq.LookupStructure("mutex", countq.KindCounter); !ok {
+		t.Error("mutex counter not found")
+	}
+	if _, ok := countq.LookupStructure("mutex", countq.KindQueue); !ok {
+		t.Error("mutex queue not found")
+	}
+}

@@ -43,6 +43,7 @@ type PhaseMetrics struct {
 	Mix        float64       `json:"mix"`
 	Arrival    string        `json:"arrival"`
 	Batch      int           `json:"batch,omitempty"`
+	Inflight   int           `json:"inflight,omitempty"`
 	StartNs    int64         `json:"start_ns"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
 	Ops        int           `json:"ops"`
@@ -50,7 +51,17 @@ type PhaseMetrics struct {
 	QueueOps   int           `json:"queue_ops"`
 	CounterLat *LatencyStats `json:"counter_latency,omitempty"`
 	QueueLat   *LatencyStats `json:"queue_latency,omitempty"`
-	Timeline   []Window      `json:"timeline,omitempty"`
+	// CounterCorr and QueueCorr are the coordinated-omission-corrected
+	// latency distributions: completion time measured against the
+	// *intended* start from the arrival schedule, so an operation delayed
+	// behind a slow predecessor is charged the backlog it actually
+	// suffered. Recorded under open-loop arrivals (uniform, bursty) and on
+	// the async (Inflight > 1) path; nil for plain closed loops, where
+	// intended and actual starts coincide and the service-time
+	// distributions above already tell the whole story.
+	CounterCorr *LatencyStats `json:"counter_corrected,omitempty"`
+	QueueCorr   *LatencyStats `json:"queue_corrected,omitempty"`
+	Timeline    []Window      `json:"timeline,omitempty"`
 	// WorkerOps is how many operations each worker completed. The op
 	// budget is a shared pool, so a worker the structure starves shows up
 	// here instead of being hidden by a preassigned per-worker quota.
@@ -87,8 +98,13 @@ type Aggregate struct {
 	Elapsed    time.Duration `json:"elapsed_ns"`
 	CounterLat *LatencyStats `json:"counter_latency,omitempty"`
 	QueueLat   *LatencyStats `json:"queue_latency,omitempty"`
-	Timeline   []Window      `json:"timeline,omitempty"`
-	Fairness   float64       `json:"fairness"`
+	// CounterCorr and QueueCorr merge the per-phase corrected
+	// distributions (see PhaseMetrics); nil when no measured phase
+	// recorded one.
+	CounterCorr *LatencyStats `json:"counter_corrected,omitempty"`
+	QueueCorr   *LatencyStats `json:"queue_corrected,omitempty"`
+	Timeline    []Window      `json:"timeline,omitempty"`
+	Fairness    float64       `json:"fairness"`
 }
 
 // NsPerOp reports average wall nanoseconds per measured operation.
@@ -106,6 +122,17 @@ func (a *Aggregate) OpsPerSec() float64 {
 		return 0
 	}
 	return float64(a.Ops) / a.Elapsed.Seconds()
+}
+
+// PickLatency returns the preferred latency record of an op-kind pair:
+// the counter side when present (the paper's expensive side), else the
+// queue side, else nil. The table renderers and exports share it so every
+// surface picks the same record.
+func PickLatency(counter, queue *LatencyStats) *LatencyStats {
+	if counter != nil {
+		return counter
+	}
+	return queue
 }
 
 // Metrics reports one driver run. Counts (including block grants) and

@@ -1,8 +1,11 @@
 package countq
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,12 +23,16 @@ const opsChunk = 64
 // phases (counts distinct and gap-free after draining leased remainders,
 // block grants included; predecessors a single total order), and reports
 // structured per-phase and aggregate Metrics: latency quantiles per op
-// kind, a windowed throughput timeline, and per-worker fairness.
+// kind (with coordinated-omission-corrected quantiles under open-loop
+// arrivals and async pipelining), a windowed throughput timeline, and
+// per-worker fairness.
 //
-// Capability interfaces are exploited when present: a HandleMaker counter
-// serves each worker through its own handle (closed when the worker
-// finishes). Batching is demanded, not hinted: a phase with Batch > 1
-// requires a BatchIncrementer counter and fails loudly without one.
+// Every operation flows through the session layer: each worker opens one
+// Session per structure and issues Inc/Enqueue through it, so legacy
+// HandleMaker counters get their per-worker fast path automatically.
+// Capabilities are demanded, not hinted: a phase with Batch > 1 requires a
+// CapBatch structure, a phase with Inflight > 1 requires CapAsync, and
+// either fails loudly when the capability is missing.
 func Run(w Workload) (*Metrics, error) {
 	if w.Counter == "" && w.Queue == "" {
 		return nil, fmt.Errorf("countq: workload names neither a counter nor a queue")
@@ -49,27 +56,46 @@ func Run(w Workload) (*Metrics, error) {
 // runSpec constructs the workload's structures and drives an
 // already-expanded phase sequence — the shared back half of Run and
 // Campaign.Run. It owns (and mutates) the phases slice; callers reusing an
-// expansion across runs must pass each run its own copy.
+// expansion across runs must pass each run its own copy. Structures
+// holding background resources (io.Closer) are closed when the run ends.
 func runSpec(w Workload, scenarioSpec string, phases []Phase) (*Metrics, error) {
 	if w.Counter == "" && w.Queue == "" {
 		return nil, fmt.Errorf("countq: workload names neither a counter nor a queue")
 	}
 	var (
-		c   Counter
-		q   Queuer
-		err error
+		cs, qs       Structure
+		cinfo, qinfo StructureInfo
 	)
 	if w.Counter != "" {
-		if c, err = NewCounter(w.Counter); err != nil {
+		s, err := ParseSpec(w.Counter)
+		if err != nil {
+			return nil, err
+		}
+		if cs, cinfo, err = newStructureFromSpec(s, KindCounter); err != nil {
 			return nil, err
 		}
 	}
 	if w.Queue != "" {
-		if q, err = NewQueue(w.Queue); err != nil {
+		s, err := ParseSpec(w.Queue)
+		if err != nil {
+			return nil, err
+		}
+		if qs, qinfo, err = newStructureFromSpec(s, KindQueue); err != nil {
 			return nil, err
 		}
 	}
-	return runPhases(w, scenarioSpec, phases, c, q)
+	defer closeStructure(cs)
+	defer closeStructure(qs)
+	return runPhases(w, scenarioSpec, phases, cs, qs, cinfo, qinfo)
+}
+
+// closeStructure releases a structure's background resources when it holds
+// any (the sim bridge's network pump). Best effort: a close failure cannot
+// un-validate an already-validated run.
+func closeStructure(s Structure) {
+	if c, ok := s.(io.Closer); ok {
+		c.Close()
+	}
 }
 
 // laneData is the validation evidence one worker (and, merged, one run)
@@ -87,15 +113,24 @@ func (d *laneData) merge(o *laneData) {
 	d.preds = append(d.preds, o.preds...)
 }
 
+// phaseHists bundles one lane's (or one phase's) latency histograms:
+// service time per op kind plus the coordinated-omission-corrected
+// distributions.
+type phaseHists struct {
+	c, q         Histogram
+	ccorr, qcorr Histogram
+}
+
+func (h *phaseHists) merge(o *phaseHists) {
+	h.c.Merge(&o.c)
+	h.q.Merge(&o.q)
+	h.ccorr.Merge(&o.ccorr)
+	h.qcorr.Merge(&o.qcorr)
+}
+
 // runPhases drives the phase sequence over the shared structure instances
 // and validates the accumulated evidence once at the end.
-func runPhases(base Workload, scenarioSpec string, phases []Phase, c Counter, q Queuer) (*Metrics, error) {
-	var batcher BatchIncrementer
-	if c != nil {
-		batcher, _ = c.(BatchIncrementer)
-	}
-	maker, _ := c.(HandleMaker)
-
+func runPhases(base Workload, scenarioSpec string, phases []Phase, cs, qs Structure, cinfo, qinfo StructureInfo) (*Metrics, error) {
 	// Validate the whole phase sequence before any goroutine runs: a
 	// misconfigured final phase must not waste the preceding ones.
 	if len(phases) > 256 {
@@ -116,9 +151,9 @@ func runPhases(base Workload, scenarioSpec string, phases []Phase, c Counter, q 
 			return nil, fmt.Errorf("countq: phase %q: latency sample %d is negative (want 0 for the default, or ≥ 1)", p.Name, p.LatencySample)
 		}
 		switch {
-		case q == nil:
+		case qs == nil:
 			p.Mix = 1
-		case c == nil:
+		case cs == nil:
 			p.Mix = 0
 		}
 		if p.Mix < 0 || p.Mix > 1 {
@@ -130,8 +165,28 @@ func runPhases(base Workload, scenarioSpec string, phases []Phase, c Counter, q 
 		if p.Batch == 1 {
 			p.Batch = 0 // IncN(1) is Inc; keep the single-Inc path
 		}
-		if p.Batch > 1 && p.Mix > 0 && batcher == nil {
-			return nil, fmt.Errorf("countq: phase %q sets batch=%d but counter %q lacks the BatchIncrementer capability (block grants); drop the batch or pick a batching counter", p.Name, p.Batch, base.Counter)
+		if p.Batch > 1 && p.Mix > 0 && !cinfo.Caps.Has(CapBatch) {
+			return nil, fmt.Errorf("countq: phase %q sets batch=%d but counter %q lacks the batch capability (BatchIncrementer / BatchSession block grants); drop the batch or pick a batching counter", p.Name, p.Batch, base.Counter)
+		}
+		if p.Inflight == 0 {
+			p.Inflight = base.Inflight
+		}
+		if p.Inflight < 0 {
+			return nil, fmt.Errorf("countq: phase %q: negative inflight %d", p.Name, p.Inflight)
+		}
+		if p.Inflight == 1 {
+			p.Inflight = 0 // one outstanding op is the synchronous path
+		}
+		if p.Inflight > 1 {
+			if p.Arrival == Fairshare {
+				return nil, fmt.Errorf("countq: phase %q: the fairshare rotation grants one operation at a time and cannot be combined with inflight=%d pipelining", p.Name, p.Inflight)
+			}
+			if p.Mix > 0 && !cinfo.Caps.Has(CapAsync) {
+				return nil, fmt.Errorf("countq: phase %q sets inflight=%d but counter %q lacks the async capability (AsyncSession completions); drop the inflight or pick an async-capable structure", p.Name, p.Inflight, base.Counter)
+			}
+			if p.Mix < 1 && !qinfo.Caps.Has(CapAsync) {
+				return nil, fmt.Errorf("countq: phase %q sets inflight=%d but queue %q lacks the async capability (AsyncSession completions); drop the inflight or pick an async-capable structure", p.Name, p.Inflight, base.Queue)
+			}
 		}
 		if p.Duration > 0 {
 			p.Ops = 0
@@ -147,11 +202,14 @@ func runPhases(base Workload, scenarioSpec string, phases []Phase, c Counter, q 
 		Seed:     base.Seed,
 	}
 	var all laneData
-	var aggCounter, aggQueue Histogram
+	var aggHists phaseHists
 	agg := Aggregate{Fairness: 1}
 	runStart := time.Now()
 	for pi := range phases {
-		pm, data, chist, qhist := runPhase(c, q, maker, batcher, base, pi, phases[pi], runStart)
+		pm, data, hists, err := runPhase(cs, qs, base, pi, phases[pi], runStart)
+		if err != nil {
+			return nil, err
+		}
 		all.merge(&data)
 		m.Phases = append(m.Phases, pm)
 		if pm.Goroutines > m.Goroutines {
@@ -168,12 +226,13 @@ func runPhases(base Workload, scenarioSpec string, phases []Phase, c Counter, q 
 		if pm.Fairness < agg.Fairness {
 			agg.Fairness = pm.Fairness
 		}
-		aggCounter.Merge(chist)
-		aggQueue.Merge(qhist)
+		aggHists.merge(hists)
 	}
 	m.Elapsed = time.Since(runStart)
-	agg.CounterLat = aggCounter.Stats()
-	agg.QueueLat = aggQueue.Stats()
+	agg.CounterLat = aggHists.c.Stats()
+	agg.QueueLat = aggHists.q.Stats()
+	agg.CounterCorr = aggHists.ccorr.Stats()
+	agg.QueueCorr = aggHists.qcorr.Stats()
 	m.Aggregate = agg
 
 	// Fail-loudly sampling invariant: operations of a kind without a single
@@ -187,9 +246,10 @@ func runPhases(base Workload, scenarioSpec string, phases []Phase, c Counter, q 
 
 	// One validation pass over the whole run, warmup included: phases share
 	// the structure instances, so counts keep rising across phase
-	// boundaries and the gap-free check must see every grant.
-	if d, ok := c.(Drainer); ok {
-		all.counts = append(all.counts, d.Drain()...)
+	// boundaries and the gap-free check must see every grant. Sessions are
+	// all closed by now, so DrainCounts sees surrendered lease remainders.
+	if cs != nil {
+		all.counts = append(all.counts, DrainCounts(cs)...)
 	}
 	if err := ValidateCountRanges(all.counts, all.blocks); err != nil {
 		return nil, fmt.Errorf("countq: %s failed validation: %w", base.Counter, err)
@@ -221,13 +281,17 @@ func claimOps(pool *atomic.Int64, chunk int64) int64 {
 // runPhase spawns the phase's workers against the shared structures and
 // folds their lanes into one PhaseMetrics plus the validation evidence and
 // per-kind histograms (returned separately so the caller can merge them
-// into the aggregate without re-binning).
-func runPhase(c Counter, q Queuer, maker HandleMaker, batcher BatchIncrementer, base Workload, pi int, p Phase, runStart time.Time) (PhaseMetrics, laneData, *Histogram, *Histogram) {
+// into the aggregate without re-binning). Each worker opens one session
+// per structure before the start barrier and issues every operation
+// through it — synchronously, or as an Inflight-deep pipeline of
+// Submit/Completions when the phase asks for one.
+func runPhase(cs, qs Structure, base Workload, pi int, p Phase, runStart time.Time) (PhaseMetrics, laneData, *phaseHists, error) {
 	type lane struct {
 		laneData
-		chist, qhist Histogram
-		events       []tlEvent
-		issued       int64
+		hists  phaseHists
+		events []tlEvent
+		issued int64
+		err    error
 	}
 	batch := p.Batch
 	if p.Mix == 0 {
@@ -249,29 +313,67 @@ func runPhase(c Counter, q Queuer, maker HandleMaker, batcher BatchIncrementer, 
 	pool.Store(int64(p.Ops))
 	hasPool := p.Ops > 0
 	lanes := make([]lane, p.Goroutines)
-	// Workers rendezvous on a start barrier so spawn latency is neither
-	// measured nor lets early workers drain the shared pool before late
-	// ones exist (which would read as unfairness the structure didn't
-	// cause).
+	// The fairshare rotation: turn hands the grant around round-robin, and
+	// a worker that finishes (or fails) marks itself done so waiters can
+	// skip its turns instead of deadlocking.
+	var turn atomic.Int64
+	var fairDone []atomic.Bool
+	if p.Arrival == Fairshare {
+		fairDone = make([]atomic.Bool, p.Goroutines)
+	}
+	// Workers rendezvous on a start barrier so spawn latency (and session
+	// setup) is neither measured nor lets early workers drain the shared
+	// pool before late ones exist (which would read as unfairness the
+	// structure didn't cause).
 	var ready, wg sync.WaitGroup
 	start := make(chan struct{})
 	var phaseStart time.Time
 	var deadline time.Time
+	ctx := context.Background()
 	for gi := 0; gi < p.Goroutines; gi++ {
 		ready.Add(1)
 		wg.Add(1)
 		go func(gi int) {
 			defer wg.Done()
+			ln := &lanes[gi]
+			if fairDone != nil {
+				defer fairDone[gi].Store(true)
+			}
+			// Open the per-worker sessions before the barrier; their
+			// Close (surrendering leases, draining async buffers) runs
+			// before the phase is folded.
+			var csess, qsess Session
+			if cs != nil {
+				csess, ln.err = cs.NewSession()
+			}
+			if ln.err == nil && qs != nil {
+				qsess, ln.err = qs.NewSession()
+			}
+			defer func() {
+				for _, s := range []Session{csess, qsess} {
+					if s == nil {
+						continue
+					}
+					if err := s.Close(); err != nil && ln.err == nil {
+						ln.err = fmt.Errorf("countq: phase %q: session close: %w", p.Name, err)
+					}
+				}
+			}()
+			var bsess BatchSession
+			if ln.err == nil && batch > 1 {
+				b, ok := csess.(BatchSession)
+				if !ok {
+					ln.err = fmt.Errorf("countq: phase %q: counter %q declares CapBatch but its session is not a BatchSession", p.Name, base.Counter)
+				}
+				bsess = b
+			}
 			ready.Done()
 			<-start
-			ln := &lanes[gi]
-			rng := rand.New(rand.NewSource(base.Seed + int64(pi)*104729 + int64(gi)*7919))
-			inc := func() int64 { return c.Inc() } // c may be nil in pure-queue phases
-			if maker != nil {
-				h := maker.NewHandle()
-				defer h.Close()
-				inc = h.Inc
+			if ln.err != nil {
+				return
 			}
+
+			rng := rand.New(rand.NewSource(base.Seed + int64(pi)*104729 + int64(gi)*7919))
 			sample := p.LatencySample
 			var sinceEvent int64 // unsampled ops since the last timeline event
 			observe := func(h *Histogram, totalNs, n int64, at time.Time) {
@@ -279,71 +381,280 @@ func runPhase(c Counter, q Queuer, maker HandleMaker, batcher BatchIncrementer, 
 				ln.events = append(ln.events, tlEvent{off: at.Sub(runStart).Nanoseconds(), ops: sinceEvent + n})
 				sinceEvent = 0
 			}
-			allowance := int64(0) // ops claimed from the pool, not yet issued
-			burst := 0
-			for iter := 0; ; iter++ {
-				if hasPool {
-					if allowance == 0 {
-						if allowance = claimOps(&pool, chunk); allowance == 0 {
-							break
-						}
+			open := p.Arrival == Uniform || p.Arrival == Bursty
+			fair := p.Arrival == Fairshare
+			// The corrected-latency clock: intended starts accumulate the
+			// arrival schedule's think times from the phase start,
+			// independent of how long service takes — when the structure
+			// falls behind, completion − intended grows by the backlog,
+			// which is exactly the quantity coordinated omission hides.
+			intended := phaseStart
+			fairAcquire := func() {
+				g := int64(p.Goroutines)
+				for {
+					t := turn.Load()
+					owner := int(t % g)
+					if owner == gi {
+						return
 					}
-				} else if iter%64 == 0 && !time.Now().Before(deadline) {
-					break
-				}
-				pause(p.Arrival, rng, &burst)
-				if p.Mix == 1 || (p.Mix > 0 && rng.Float64() < drawMix) {
-					if batch > 1 {
-						n := int64(batch)
-						if hasPool && n > allowance {
-							n = allowance
-						}
-						if len(ln.blocks)%sample == 0 {
-							t0 := time.Now()
-							first := batcher.IncN(n)
-							t1 := time.Now()
-							ln.blocks = append(ln.blocks, CountRange{First: first, N: n})
-							observe(&ln.chist, t1.Sub(t0).Nanoseconds(), n, t1)
-						} else {
-							ln.blocks = append(ln.blocks, CountRange{First: batcher.IncN(n), N: n})
-							sinceEvent += n
-						}
-						ln.issued += n
-						if hasPool {
-							allowance -= n
-						}
+					if fairDone[owner].Load() {
+						turn.CompareAndSwap(t, t+1)
 						continue
 					}
-					if len(ln.counts)%sample == 0 {
-						t0 := time.Now()
-						v := inc()
-						t1 := time.Now()
-						ln.counts = append(ln.counts, v)
-						observe(&ln.chist, t1.Sub(t0).Nanoseconds(), 1, t1)
-					} else {
-						ln.counts = append(ln.counts, inc())
-						sinceEvent++
+					runtime.Gosched()
+				}
+			}
+			allowance := int64(0) // ops claimed from the pool, not yet issued
+			burst := 0
+
+			if p.Inflight > 1 {
+				// --- Asynchronous path: keep Inflight ops outstanding. ---
+				var cas, qas AsyncSession
+				if csess != nil && p.Mix > 0 {
+					a, ok := csess.(AsyncSession)
+					if !ok {
+						ln.err = fmt.Errorf("countq: phase %q: counter %q declares CapAsync but its session is not an AsyncSession", p.Name, base.Counter)
+						return
 					}
-				} else {
+					cas = a
+				}
+				if qsess != nil && p.Mix < 1 {
+					a, ok := qsess.(AsyncSession)
+					if !ok {
+						ln.err = fmt.Errorf("countq: phase %q: queue %q declares CapAsync but its session is not an AsyncSession", p.Name, base.Queue)
+						return
+					}
+					qas = a
+				}
+				var cch, qch <-chan Completion
+				if cas != nil {
+					cch = cas.Completions()
+				}
+				if qas != nil {
+					qch = qas.Completions()
+				}
+				outstanding, iter, budgetDone := 0, 0, false
+				// submitOne issues one draw on the pipeline; false means
+				// the budget is exhausted and nothing was submitted.
+				submitOne := func() (bool, error) {
+					if hasPool {
+						if allowance == 0 {
+							if allowance = claimOps(&pool, chunk); allowance == 0 {
+								return false, nil
+							}
+						}
+					} else if iter%64 == 0 && !time.Now().Before(deadline) {
+						return false, nil
+					}
+					if open {
+						t0 := time.Now()
+						pause(p.Arrival, rng, &burst)
+						intended = intended.Add(time.Since(t0))
+					}
+					now := time.Now()
+					op := Op{Token: uint64(iter), Start: now, Submitted: now}
+					if open {
+						op.Start = intended
+					}
+					n := int64(1)
+					if p.Mix == 1 || (p.Mix > 0 && rng.Float64() < drawMix) {
+						op.Kind, op.N = OpInc, 1
+						if batch > 1 {
+							n = int64(batch)
+							if hasPool && n > allowance {
+								n = allowance
+							}
+							op.N = n
+						}
+						if err := cas.Submit(ctx, op); err != nil {
+							return false, err
+						}
+					} else {
+						op.Kind = OpEnqueue
+						// 8 bits of phase, 15 of lane, 40 of draw index:
+						// distinct non-negative ids across the whole run.
+						op.ID = int64(pi)<<55 | int64(gi)<<40 | int64(iter)
+						if err := qas.Submit(ctx, op); err != nil {
+							return false, err
+						}
+					}
+					iter++
+					outstanding++
+					if hasPool {
+						allowance -= n
+					}
+					return true, nil
+				}
+				for {
+					for !budgetDone && outstanding < p.Inflight {
+						ok, err := submitOne()
+						if err != nil {
+							ln.err = err
+							return
+						}
+						if !ok {
+							budgetDone = true
+						}
+					}
+					if outstanding == 0 {
+						break // budget exhausted, pipeline drained
+					}
+					var c Completion
+					select {
+					case c = <-cch:
+					case c = <-qch:
+					}
+					if c.Err != nil {
+						ln.err = c.Err
+						return
+					}
+					now := time.Now()
+					switch {
+					case c.Op.Kind == OpInc && c.Op.N > 1:
+						if len(ln.blocks)%sample == 0 {
+							ln.blocks = append(ln.blocks, CountRange{First: c.Value, N: c.Op.N})
+							observe(&ln.hists.c, now.Sub(c.Op.Submitted).Nanoseconds(), c.Op.N, now)
+							ln.hists.ccorr.RecordN(now.Sub(c.Op.Start).Nanoseconds(), c.Op.N)
+						} else {
+							ln.blocks = append(ln.blocks, CountRange{First: c.Value, N: c.Op.N})
+							sinceEvent += c.Op.N
+						}
+						ln.issued += c.Op.N
+					case c.Op.Kind == OpInc:
+						if len(ln.counts)%sample == 0 {
+							ln.counts = append(ln.counts, c.Value)
+							observe(&ln.hists.c, now.Sub(c.Op.Submitted).Nanoseconds(), 1, now)
+							ln.hists.ccorr.Record(now.Sub(c.Op.Start).Nanoseconds())
+						} else {
+							ln.counts = append(ln.counts, c.Value)
+							sinceEvent++
+						}
+						ln.issued++
+					default:
+						if len(ln.ids)%sample == 0 {
+							ln.ids = append(ln.ids, c.Op.ID)
+							ln.preds = append(ln.preds, c.Value)
+							observe(&ln.hists.q, now.Sub(c.Op.Submitted).Nanoseconds(), 1, now)
+							ln.hists.qcorr.Record(now.Sub(c.Op.Start).Nanoseconds())
+						} else {
+							ln.ids = append(ln.ids, c.Op.ID)
+							ln.preds = append(ln.preds, c.Value)
+							sinceEvent++
+						}
+						ln.issued++
+					}
+					outstanding--
+				}
+			} else {
+				// --- Synchronous path: one call-and-return per draw. ---
+				issueOne := func(iter int) (int64, error) {
+					if p.Mix == 1 || (p.Mix > 0 && rng.Float64() < drawMix) {
+						if batch > 1 {
+							n := int64(batch)
+							if hasPool && n > allowance {
+								n = allowance
+							}
+							if len(ln.blocks)%sample == 0 {
+								t0 := time.Now()
+								first, err := bsess.IncN(ctx, n)
+								t1 := time.Now()
+								if err != nil {
+									return 0, err
+								}
+								ln.blocks = append(ln.blocks, CountRange{First: first, N: n})
+								observe(&ln.hists.c, t1.Sub(t0).Nanoseconds(), n, t1)
+								if open {
+									ln.hists.ccorr.RecordN(t1.Sub(intended).Nanoseconds(), n)
+								}
+							} else {
+								first, err := bsess.IncN(ctx, n)
+								if err != nil {
+									return 0, err
+								}
+								ln.blocks = append(ln.blocks, CountRange{First: first, N: n})
+								sinceEvent += n
+							}
+							return n, nil
+						}
+						if len(ln.counts)%sample == 0 {
+							t0 := time.Now()
+							v, err := csess.Inc(ctx)
+							t1 := time.Now()
+							if err != nil {
+								return 0, err
+							}
+							ln.counts = append(ln.counts, v)
+							observe(&ln.hists.c, t1.Sub(t0).Nanoseconds(), 1, t1)
+							if open {
+								ln.hists.ccorr.Record(t1.Sub(intended).Nanoseconds())
+							}
+						} else {
+							v, err := csess.Inc(ctx)
+							if err != nil {
+								return 0, err
+							}
+							ln.counts = append(ln.counts, v)
+							sinceEvent++
+						}
+						return 1, nil
+					}
 					// 8 bits of phase, 15 of lane, 40 of draw index:
 					// distinct non-negative ids across the whole run.
 					id := int64(pi)<<55 | int64(gi)<<40 | int64(iter)
 					if len(ln.ids)%sample == 0 {
 						t0 := time.Now()
-						pr := q.Enqueue(id)
+						pr, err := qsess.Enqueue(ctx, id)
 						t1 := time.Now()
+						if err != nil {
+							return 0, err
+						}
 						ln.ids = append(ln.ids, id)
 						ln.preds = append(ln.preds, pr)
-						observe(&ln.qhist, t1.Sub(t0).Nanoseconds(), 1, t1)
+						observe(&ln.hists.q, t1.Sub(t0).Nanoseconds(), 1, t1)
+						if open {
+							ln.hists.qcorr.Record(t1.Sub(intended).Nanoseconds())
+						}
 					} else {
+						pr, err := qsess.Enqueue(ctx, id)
+						if err != nil {
+							return 0, err
+						}
 						ln.ids = append(ln.ids, id)
-						ln.preds = append(ln.preds, q.Enqueue(id))
+						ln.preds = append(ln.preds, pr)
 						sinceEvent++
 					}
+					return 1, nil
 				}
-				ln.issued++
-				if hasPool {
-					allowance--
+				for iter := 0; ; iter++ {
+					if hasPool {
+						if allowance == 0 {
+							if allowance = claimOps(&pool, chunk); allowance == 0 {
+								break
+							}
+						}
+					} else if iter%64 == 0 && !time.Now().Before(deadline) {
+						break
+					}
+					if open {
+						t0 := time.Now()
+						pause(p.Arrival, rng, &burst)
+						intended = intended.Add(time.Since(t0))
+					}
+					if fair {
+						fairAcquire()
+					}
+					granted, err := issueOne(iter)
+					if fair {
+						turn.Add(1)
+					}
+					if err != nil {
+						ln.err = err
+						return
+					}
+					ln.issued += granted
+					if hasPool {
+						allowance -= granted
+					}
 				}
 			}
 			if sinceEvent > 0 {
@@ -360,13 +671,15 @@ func runPhase(c Counter, q Queuer, maker HandleMaker, batcher BatchIncrementer, 
 	elapsed := time.Since(phaseStart)
 
 	var data laneData
-	var chist, qhist Histogram
+	var hists phaseHists
 	var events []tlEvent
 	workers := make([]int64, p.Goroutines)
 	for gi := range lanes {
+		if err := lanes[gi].err; err != nil {
+			return PhaseMetrics{}, laneData{}, nil, fmt.Errorf("countq: phase %q: %w", p.Name, err)
+		}
 		data.merge(&lanes[gi].laneData)
-		chist.Merge(&lanes[gi].chist)
-		qhist.Merge(&lanes[gi].qhist)
+		hists.merge(&lanes[gi].hists)
 		events = append(events, lanes[gi].events...)
 		workers[gi] = lanes[gi].issued
 	}
@@ -376,24 +689,27 @@ func runPhase(c Counter, q Queuer, maker HandleMaker, batcher BatchIncrementer, 
 	}
 	queueOps := len(data.ids)
 	pm := PhaseMetrics{
-		Name:       p.Name,
-		Warmup:     p.Warmup,
-		Goroutines: p.Goroutines,
-		Mix:        p.Mix,
-		Arrival:    p.Arrival.String(),
-		Batch:      batch,
-		StartNs:    startNs,
-		Elapsed:    elapsed,
-		Ops:        counterOps + queueOps,
-		CounterOps: counterOps,
-		QueueOps:   queueOps,
-		CounterLat: chist.Stats(),
-		QueueLat:   qhist.Stats(),
-		Timeline:   buildTimeline(events, startNs, elapsed.Nanoseconds()),
-		WorkerOps:  workers,
-		Fairness:   fairness(workers),
+		Name:        p.Name,
+		Warmup:      p.Warmup,
+		Goroutines:  p.Goroutines,
+		Mix:         p.Mix,
+		Arrival:     p.Arrival.String(),
+		Batch:       batch,
+		Inflight:    p.Inflight,
+		StartNs:     startNs,
+		Elapsed:     elapsed,
+		Ops:         counterOps + queueOps,
+		CounterOps:  counterOps,
+		QueueOps:    queueOps,
+		CounterLat:  hists.c.Stats(),
+		QueueLat:    hists.q.Stats(),
+		CounterCorr: hists.ccorr.Stats(),
+		QueueCorr:   hists.qcorr.Stats(),
+		Timeline:    buildTimeline(events, startNs, elapsed.Nanoseconds()),
+		WorkerOps:   workers,
+		Fairness:    fairness(workers),
 	}
-	return pm, data, &chist, &qhist
+	return pm, data, &hists, nil
 }
 
 // fairness is min/max over per-worker op counts: 1 is perfectly fair, 0

@@ -26,11 +26,12 @@ type Phase struct {
 	// positive (a positive Duration wins, as on Workload).
 	Ops      int
 	Duration time.Duration
-	// Mix, Batch, LatencySample and Arrival mean what they mean on
-	// Workload, per phase. Mix is forced to 1/0 for pure workloads;
-	// LatencySample 0 inherits the base.
+	// Mix, Batch, Inflight, LatencySample and Arrival mean what they mean
+	// on Workload, per phase. Mix is forced to 1/0 for pure workloads;
+	// Inflight and LatencySample 0 inherit the base.
 	Mix           float64
 	Batch         int
+	Inflight      int
 	LatencySample int
 	Arrival       Arrival
 }

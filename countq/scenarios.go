@@ -161,6 +161,7 @@ func basePhase(base Workload, name string) Phase {
 		Goroutines:    base.Goroutines,
 		Mix:           base.Mix,
 		Batch:         base.Batch,
+		Inflight:      base.Inflight,
 		LatencySample: base.LatencySample,
 		Arrival:       base.Arrival,
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Spec names a registered structure together with its construction
@@ -172,6 +173,33 @@ func (o *Options) Float64(key string, def float64) float64 {
 		return def
 	}
 	return f
+}
+
+// Duration reads key as a time.Duration ("1us", "2ms"), or def when
+// absent. Bare "0" is accepted (no unit needed for zero).
+func (o *Options) Duration(key string, def time.Duration) time.Duration {
+	v, ok := o.vals[key]
+	if !ok {
+		return def
+	}
+	if v == "0" {
+		return 0
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		o.fail(key, v, "a duration (e.g. 1us, 2ms)")
+		return def
+	}
+	return d
+}
+
+// String reads key verbatim, or def when absent.
+func (o *Options) String(key, def string) string {
+	v, ok := o.vals[key]
+	if !ok {
+		return def
+	}
+	return v
 }
 
 // Bool reads key as a bool ("true"/"false"/"1"/"0"), or def when absent.

@@ -20,6 +20,15 @@ const (
 	// Bursty alternates dense bursts of back-to-back operations with
 	// longer pauses, modelling synchronized arrival spikes.
 	Bursty
+	// Fairshare is a closed loop driven by a rotating per-worker grant:
+	// workers issue operations strictly round-robin, so per-worker op
+	// counts — and the fairness ratio — measure the structure, not the
+	// goroutine scheduler. It exists because on a single-core host a plain
+	// closed loop legitimately reports fairness ≈ 0 (one worker drains the
+	// shared pool per timeslice); under fairshare the number is
+	// scheduler-independent. The rotation serializes issue order, so use
+	// it for fairness readings, not throughput ceilings.
+	Fairshare
 )
 
 // String returns the arrival pattern's registry name.
@@ -31,6 +40,8 @@ func (a Arrival) String() string {
 		return "uniform"
 	case Bursty:
 		return "bursty"
+	case Fairshare:
+		return "fairshare"
 	default:
 		return fmt.Sprintf("arrival(%d)", int(a))
 	}
@@ -45,8 +56,10 @@ func ParseArrival(name string) (Arrival, error) {
 		return Uniform, nil
 	case "bursty":
 		return Bursty, nil
+	case "fairshare":
+		return Fairshare, nil
 	default:
-		return 0, fmt.Errorf("countq: unknown arrival pattern %q (closed|uniform|bursty)", name)
+		return 0, fmt.Errorf("countq: unknown arrival pattern %q (closed|uniform|bursty|fairshare)", name)
 	}
 }
 
@@ -90,6 +103,13 @@ type Workload struct {
 	// BatchIncrementer: a batch request against a counter without the
 	// capability is rejected, never silently downgraded to single Incs.
 	Batch int
+	// Inflight, when > 1, keeps that many operations outstanding per
+	// worker through the structure's AsyncSession capability — the op
+	// pipeline that overlaps coordination rounds. Like batching, it is
+	// demanded, not hinted: a phase with Inflight > 1 against a structure
+	// without CapAsync is rejected, never silently run synchronously.
+	// 0 or 1 is the synchronous call-and-return path.
+	Inflight int
 	// LatencySample controls per-operation timing: every Kth operation of
 	// each kind is timed (default 64; 1 times every operation). Sampling
 	// keeps the timing overhead from distorting ns/op for fast structures;
@@ -123,6 +143,8 @@ func (w Workload) withDefaults() Workload {
 }
 
 // pause realizes the arrival pattern's think time between operations.
+// Closed pauses nowhere; Fairshare also falls through — its rotation is
+// the runner's grant logic, not a think time.
 func pause(a Arrival, rng *rand.Rand, burst *int) {
 	switch a {
 	case Uniform:

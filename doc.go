@@ -12,76 +12,107 @@
 // system inventory; `go run ./cmd/countq run all` regenerates the
 // paper-versus-measured tables.
 //
-// # Quickstart: specs, the countq registry, and the workload driver
+// # Quickstart: sessions, structures, and the registry (core API v2)
 //
-// The public package repro/countq exposes the shared-memory counting and
-// queuing structures behind one registry. Implementations self-register on
-// import (database/sql style) and are constructed from specs: a bare name
-// builds the declared defaults, and a DSN-style parameter list tunes the
-// knobs that control each structure's coordination cost — the quantity the
-// paper's lower bound is about:
+// The public package repro/countq exposes every counting and queuing
+// backend behind one registry of Structures. A Structure is a session
+// factory; a Session is one worker's conversation with it, and
+// Session.Inc(ctx) / Session.Enqueue(ctx, id) are the canonical
+// operations — context-aware and fallible, so backends whose coordination
+// round is not a synchronous shared-memory call (the message-passing sim
+// bridge) are first-class citizens:
 //
 //	import (
 //		"repro/countq"
 //
-//		_ "repro/internal/shm" // register the shared-memory implementations
+//		_ "repro/internal/shm" // register the shared-memory zoo
+//		_ "repro/internal/sim" // register the sim bridge (sim-counter, sim-queue)
 //	)
 //
-//	c, _ := countq.NewCounter("sharded?shards=4&batch=16")
-//	q, _ := countq.NewQueue("swap")
+//	st, _ := countq.NewStructure("sim-counter?hoplat=1us", countq.KindCounter)
+//	sess, _ := st.NewSession()
+//	defer sess.Close()
+//	count, err := sess.Inc(ctx)
 //
-// Every parameter is declared by its implementation (CounterInfo.Params),
-// so unknown keys and mistyped values are rejected, `countq list -v`
-// prints the full catalogue, and Spec.With fans a base spec out into a
-// sweep. Counters may also advertise two capability interfaces:
-// HandleMaker (per-goroutine handles whose fast path is uncontended) and
-// BatchIncrementer (IncN — a block of counts for one coordination round).
+// Structures declare their kinds (counter, queue), construction params,
+// and session capabilities in the registry: CapBatch sessions implement
+// BatchSession (IncN block grants — a range of counts for one
+// coordination round), CapAsync sessions implement AsyncSession
+// (Submit/Completions — keep K operations in flight per worker, the
+// pipeline that overlaps coordination rounds). Capabilities are demanded,
+// not hinted: a workload that asks for Batch or Inflight against a
+// structure without the capability is rejected before any goroutine runs.
+//
+// Legacy implementations register unchanged: RegisterCounter and
+// RegisterQueue lift a Counter/Queuer (with its HandleMaker,
+// BatchIncrementer and Drainer capability interfaces) into the structure
+// registry through thin session adapters, probing and declaring its caps.
+// NewCounter/NewQueue remain as the synchronous compatibility view.
+//
+// Migration, legacy → v2:
+//
+//	NewCounter(spec).Inc()            → NewStructure(spec, KindCounter); sess.Inc(ctx)
+//	NewQueue(spec).Enqueue(id)        → NewStructure(spec, KindQueue); sess.Enqueue(ctx, id)
+//	HandleMaker / CounterHandle       → NewSession / Session (handles are the sync special case)
+//	BatchIncrementer.IncN(n)          → BatchSession.IncN(ctx, n)     [CapBatch]
+//	(inexpressible)                   → AsyncSession.Submit/Completions [CapAsync]
+//	Drainer.Drain()                   → DrainCounts(structure)
+//	Counters() / Queues()             → Structures() (legacy listings remain, sync-view only)
 //
 // The scenario engine runs the paper's counting-versus-queuing contrast
 // over any registered pair — as one steady phase or as a registered
 // scenario (steady, ramp, spike, mixshift, batched) whose phases reshape
-// mix, contention, arrival and batching while the structures persist.
-// Scenario specs compose with ';' ("ramp?gmax=8;spike", or
-// countq.Compose("ramp?gmax=8").Then("spike")), with reserved per-segment
-// weight and warmup parameters. Every run is validated once across all
-// phases (counts distinct and gap-free, block grants included,
-// predecessors one total order) and reports structured Metrics: per-phase
-// latency quantiles (p50/p90/p99/p999/max) per op kind from log-bucketed
-// histograms, a windowed throughput timeline, and per-worker fairness:
+// mix, contention, arrival, batching and pipelining while the structures
+// persist. Scenario specs compose with ';' ("ramp?gmax=8;spike"), with
+// reserved per-segment weight and warmup parameters. Every run is
+// validated once across all phases (counts distinct and gap-free, block
+// grants included, predecessors one total order) and reports structured
+// Metrics: per-phase latency quantiles (p50/p90/p99/p999/max) per op kind,
+// coordinated-omission-corrected quantiles under open-loop arrivals
+// (uniform, bursty) and async pipelining, a windowed throughput timeline,
+// and per-worker fairness (the fairshare arrival pattern makes that number
+// scheduler-independent on single-core hosts):
 //
 //	m, err := countq.Run(countq.Workload{
-//		Counter:    "sharded?shards=4&batch=16",
-//		Queue:      "swap",
+//		Counter:    "sim-counter?hoplat=1us",
 //		Scenario:   "ramp?gmax=8",
 //		Goroutines: 8,
 //		Ops:        1 << 20,
-//		Mix:        0.5,
+//		Inflight:   16, // 16 ops outstanding per worker (CapAsync)
 //	})
 //
 // The campaign layer runs several structure specs under one scenario's
 // byte-identical phase sequence and a shared seed, returning per-structure
-// Metrics plus delta ratios against a declared baseline, exportable as
-// CSV or Markdown:
+// Metrics plus delta ratios against a declared baseline, exportable as CSV
+// or Markdown. Entries may declare per-entry Goroutines/Batch/Inflight
+// overrides for asymmetric comparisons (batched vs unbatched, pipelined vs
+// synchronous) at equal budgets:
 //
 //	cmp, err := countq.Campaign{
-//		Base:    countq.Workload{Scenario: "ramp?gmax=8;spike", Ops: 1 << 20},
-//		Entries: []countq.Entry{{Counter: "atomic"}, {Counter: "sharded?shards=64"}},
+//		Base: countq.Workload{Scenario: "ramp?gmax=8", Ops: 1 << 20},
+//		Entries: []countq.Entry{
+//			{Counter: "sharded?shards=8"},
+//			{Counter: "sim-counter?hoplat=1us"},
+//			{Counter: "sim-counter?hoplat=1us", Inflight: 16},
+//		},
 //	}.Run()
 //
 // The same engine is exposed on the command line, including the campaign
-// comparison, a one-flag parameter sweep, the scenario catalogue, and the
-// benchjson perf regression gate:
+// comparison (comma-separated specs and '@' per-entry overrides), the
+// parameter sweep, the scenario catalogue, and the benchjson perf
+// regression gate:
 //
-//	go run ./cmd/countq list -v                               # experiments + protocols + tunables
+//	go run ./cmd/countq list -v                               # structures, kinds, caps, tunables
 //	go run ./cmd/countq scenarios -v                          # scenario catalogue + declared params
-//	go run ./cmd/countq drive -counter sharded -queue swap -scenario 'ramp?gmax=8' -json
-//	go run ./cmd/countq drive -counter sharded -sweep batch=16,64,256,1024
-//	go run ./cmd/countq compare -scenario 'ramp;spike' atomic 'sharded?shards=64'
-//	go run ./cmd/countq benchdiff -noise 0.10 BENCH_old.json BENCH_new.json
+//	go run ./cmd/countq drive -counter sim-counter -inflight 16 -scenario 'ramp?gmax=8' -json
+//	go run ./cmd/countq compare "sharded?shards=8,sim-counter?hoplat=1us" -scenario "ramp?gmax=8"
+//	go run ./cmd/countq compare -sweep shards=2,8,32 sharded
+//	go run ./cmd/countq benchdiff -noise 0.10 BENCH_old.json BENCH_now.json
 //
 // Benchmarks in bench_test.go iterate the registry and sweep the declared
-// tunables as named campaigns, so every registered implementation is
-// measured — with cross-structure deltas — for free:
+// tunables as named campaigns — including the bridge's async pipeline
+// surface — so every registered implementation is measured, with
+// cross-structure deltas, for free:
 //
 //	go test -bench=. -benchmem
 //	go test -run TestBenchJSON -benchjson BENCH_now.json .    # tail-latency surface + deltas
@@ -89,6 +120,6 @@
 // The cmd/countq, cmd/nntsp and cmd/bounds executables expose the same
 // functionality on the command line, and examples/ holds runnable
 // walkthroughs (quickstart, a spec-API sweep, the scenario engine, a
-// campaign comparison, ordered multicast, distributed locking, a ticket
-// office, and a topology atlas).
+// campaign comparison, the async sim bridge, ordered multicast,
+// distributed locking, a ticket office, and a topology atlas).
 package repro

@@ -1,0 +1,522 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/countq"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// The bridge runs a message-passing protocol as a countq Structure — the
+// first backend only the session API can express. Sessions are pinned to
+// leaf nodes of a simulated network; every Inc/Enqueue becomes a request
+// message routed over the spanning tree to the root (which owns the
+// counter or the queue tail), and a grant routed back. A single pump
+// goroutine advances the simulation one round per configured hop latency,
+// so the coordination cost the paper reasons about — hops to the point of
+// serialization, contention at its receive capacity — shows up as real
+// wall-clock latency in the scenario engine's histograms, comparable in
+// one campaign against the shared-memory zoo.
+//
+// The bridge is deliberately the *central* protocol: the naive baseline
+// whose root serializes everything. On the star it realizes the Θ(n²)
+// hub behavior of the paper's conclusions; on the list it pays the
+// diameter. Sessions support the synchronous Session calls (each blocks
+// for its round trip), BatchSession (one request grants a block), and
+// AsyncSession (Submit/Completions — the pipeline that overlaps round
+// trips, which no synchronous interface could express).
+
+// Message kinds used by the bridge protocol.
+const (
+	bkReq   = 101 // A = token, B = origin node, C = block size or op id
+	bkGrant = 102 // A = token, B = origin node, C = count or predecessor
+)
+
+// bridgePipeline is the per-session completion buffer and the cap on
+// operations one session may keep outstanding.
+const bridgePipeline = 1024
+
+// BridgeConfig describes a bridge instance.
+type BridgeConfig struct {
+	// Topo is the network topology: "star" (default; hub contention),
+	// "list" (diameter), or "mesh2d".
+	Topo string
+	// Nodes is the network size (default 9: a hub plus 8 leaves on the
+	// star). Must be ≥ 2; sessions are assigned round-robin to the
+	// non-root nodes.
+	Nodes int
+	// HopLat is the wall-clock cost of one simulated round — one message
+	// hop (default 1µs). 0 advances rounds as fast as the pump can spin.
+	HopLat time.Duration
+	// Capacity is the per-node per-round send/receive budget, the paper's
+	// c (default 1).
+	Capacity int
+	// Queue selects the queuing protocol (sessions serve Enqueue) instead
+	// of the counting protocol (sessions serve Inc).
+	Queue bool
+}
+
+// Bridge runs the central message-passing protocol as a countq.Structure.
+// Close stops the network pump; the workload driver closes it when a run
+// finishes.
+type Bridge struct {
+	cfg      BridgeConfig
+	submit   chan bridgeOp
+	done     chan struct{} // closed by Close: stop accepting, drain, exit
+	pumpExit chan struct{} // closed when the pump has exited
+	stop     sync.Once
+	nextLeaf atomic.Uint64
+	leaves   []int
+	// closeMu fences submission against Close: senders hold the read
+	// side across the closed-flag check and the channel send, so once
+	// Close holds the write side no send can be in flight — every
+	// accepted operation is then either with the pump or in the buffer
+	// Close drains, and the AsyncSession contract (one Completion per
+	// accepted Submit) holds through shutdown.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// bridgeOp is one operation in flight from a session to the pump.
+type bridgeOp struct {
+	node    int
+	op      countq.Op
+	out     chan<- countq.Completion
+	settled func() // decrements the session's outstanding count (async ops)
+}
+
+// NewBridge builds the network and starts the pump.
+func NewBridge(cfg BridgeConfig) (*Bridge, error) {
+	n := cfg.Nodes
+	if n == 0 {
+		n = 9
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("sim: bridge needs ≥ 2 nodes (a root and a leaf), got %d", n)
+	}
+	var g *graph.Graph
+	switch cfg.Topo {
+	case "", "star":
+		g = graph.Star(n)
+	case "list":
+		g = graph.Path(n)
+	case "mesh2d":
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		if side*side != n {
+			return nil, fmt.Errorf("sim: mesh2d needs a perfect-square node count, got %d (nearest: %d or %d)", n, side*side, (side+1)*(side+1))
+		}
+		g = graph.Mesh(side, side)
+	default:
+		return nil, fmt.Errorf("sim: unknown bridge topology %q (star|list|mesh2d)", cfg.Topo)
+	}
+	if cfg.Capacity < 0 {
+		return nil, fmt.Errorf("sim: negative bridge capacity %d", cfg.Capacity)
+	}
+	if cfg.HopLat < 0 {
+		return nil, fmt.Errorf("sim: negative hop latency %v", cfg.HopLat)
+	}
+	tr, err := tree.BFSTree(g, 0)
+	if err != nil {
+		return nil, fmt.Errorf("sim: bridge spanning tree: %w", err)
+	}
+	leaves := make([]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != tr.Root() {
+			leaves = append(leaves, v)
+		}
+	}
+	b := &Bridge{
+		cfg:      cfg,
+		submit:   make(chan bridgeOp, 256),
+		done:     make(chan struct{}),
+		pumpExit: make(chan struct{}),
+		leaves:   leaves,
+	}
+	go b.pump(g, tr)
+	return b, nil
+}
+
+// Close stops the pump after it drains every accepted operation, then
+// fails anything that raced into the submit buffer against the shutdown.
+// Safe to call more than once.
+func (b *Bridge) Close() error {
+	b.closeMu.Lock()
+	b.closed = true
+	b.closeMu.Unlock()
+	b.stop.Do(func() { close(b.done) })
+	<-b.pumpExit
+	// No sender can be mid-send now (the closed flag is checked under
+	// closeMu before every send, and the pump stayed alive until the
+	// flag flipped), so the buffer holds only operations that beat the
+	// flag; complete them with the close error.
+	for {
+		select {
+		case o := <-b.submit:
+			o.out <- countq.Completion{Op: o.op, Err: errBridgeClosed}
+			if o.settled != nil {
+				o.settled()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// send hands an operation to the pump, fenced against Close. An error
+// means the operation was not accepted and no Completion will arrive.
+func (s *bridgeSession) send(ctx context.Context, o bridgeOp) error {
+	s.b.closeMu.RLock()
+	defer s.b.closeMu.RUnlock()
+	if s.b.closed {
+		return errBridgeClosed
+	}
+	// The pump is alive for as long as this read lock is held (Close
+	// flips the flag before signalling it to exit), so a full buffer
+	// drains and this send cannot block indefinitely.
+	select {
+	case s.b.submit <- o:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// NewSession pins a new session to the next leaf node round-robin. Several
+// sessions may share a leaf; their operations are distinguished by token.
+func (b *Bridge) NewSession() (countq.Session, error) {
+	i := b.nextLeaf.Add(1) - 1
+	return &bridgeSession{
+		b:    b,
+		node: b.leaves[int(i%uint64(len(b.leaves)))],
+		out:  make(chan countq.Completion, bridgePipeline),
+	}, nil
+}
+
+// bridgeProto is the central protocol: requests route to the root, which
+// assigns counts (or remembers the queue tail) and routes grants back.
+type bridgeProto struct {
+	router  *tree.Router
+	root    int
+	queue   bool
+	next    int64 // counter high-water mark at the root
+	last    int64 // queue predecessor at the root
+	seq     int   // injection tokens
+	pending map[int]bridgeOp
+}
+
+func (p *bridgeProto) Start(*Env, int) {}
+
+// issue injects an operation at its session's node: root-adjacent state is
+// never touched directly — even a root-co-located op would pay the message
+// round trip, but sessions are only assigned to non-root nodes.
+func (p *bridgeProto) issue(env *Env, o bridgeOp) {
+	tok := p.seq
+	p.seq++
+	p.pending[tok] = o
+	payload := int(o.op.N)
+	if p.queue {
+		payload = int(o.op.ID)
+	}
+	env.Send(o.node, p.router.NextHop(o.node, p.root), Message{Kind: bkReq, A: tok, B: o.node, C: payload})
+}
+
+func (p *bridgeProto) Deliver(env *Env, node int, m Message) {
+	switch m.Kind {
+	case bkReq:
+		if node != p.root {
+			env.Send(node, p.router.NextHop(node, p.root), m)
+			return
+		}
+		var val int64
+		if p.queue {
+			val = p.last
+			p.last = int64(m.C)
+		} else {
+			n := int64(m.C)
+			if n < 1 {
+				n = 1
+			}
+			val = p.next + 1
+			p.next += n
+		}
+		env.Send(node, p.router.NextHop(node, m.B), Message{Kind: bkGrant, A: m.A, B: m.B, C: int(val)})
+	case bkGrant:
+		if node != m.B {
+			env.Send(node, p.router.NextHop(node, m.B), m)
+			return
+		}
+		p.complete(m.A, int64(m.C), nil)
+	default:
+		env.Fail(fmt.Errorf("sim: bridge got unexpected message kind %d", m.Kind))
+	}
+}
+
+// complete resolves a pending operation. The completion channel is always
+// buffered deep enough (per-op reply channels hold 1; session pipelines
+// cap outstanding at their buffer), so this never blocks the pump.
+func (p *bridgeProto) complete(tok int, val int64, err error) {
+	o, ok := p.pending[tok]
+	if !ok {
+		return
+	}
+	delete(p.pending, tok)
+	o.out <- countq.Completion{Op: o.op, Value: val, Err: err}
+	if o.settled != nil {
+		o.settled()
+	}
+}
+
+// failAll resolves every pending operation with err — the pump's
+// fail-loudly path when the simulation itself errors.
+func (p *bridgeProto) failAll(err error) {
+	for tok := range p.pending {
+		p.complete(tok, 0, err)
+	}
+}
+
+// pump is the network clock: it injects submitted operations, advances one
+// simulated round per hop latency, and exits — after draining everything
+// accepted — when the bridge is closed.
+func (b *Bridge) pump(g *graph.Graph, tr *tree.Tree) {
+	defer close(b.pumpExit)
+	proto := &bridgeProto{
+		router:  tr.NewRouter(),
+		root:    tr.Root(),
+		queue:   b.cfg.Queue,
+		last:    countq.Head,
+		pending: make(map[int]bridgeOp),
+	}
+	nw := New(Config{Graph: g, Capacity: b.cfg.Capacity}, proto)
+	env := nw.Env()
+	if err := nw.Begin(); err != nil {
+		b.fail(proto, err)
+		return
+	}
+	closing := false
+	for {
+		if !closing && nw.Quiescent() && len(proto.pending) == 0 {
+			// Idle: block until there is work or the bridge closes.
+			select {
+			case o := <-b.submit:
+				proto.issue(env, o)
+			case <-b.done:
+				closing = true
+			}
+		}
+		// Opportunistically drain every waiting submission before the
+		// round, so concurrent sessions contend inside the simulation
+		// (queued at the root's capacity) rather than in this channel.
+		for !closing {
+			select {
+			case o := <-b.submit:
+				proto.issue(env, o)
+				continue
+			default:
+			}
+			break
+		}
+		if closing && nw.Quiescent() && len(proto.pending) == 0 {
+			// Fail any submission still buffered (Close repeats this
+			// drain once the pump is gone, so nothing accepted under the
+			// closeMu fence is ever left without a Completion).
+			for {
+				select {
+				case o := <-b.submit:
+					o.out <- countq.Completion{Op: o.op, Err: errBridgeClosed}
+					if o.settled != nil {
+						o.settled()
+					}
+				default:
+					return
+				}
+			}
+		}
+		b.sleepHop()
+		if err := nw.Step(); err != nil {
+			b.fail(proto, err)
+			return
+		}
+		if !closing {
+			// Re-check shutdown so a Close with an idle network exits
+			// promptly even while sessions keep the submit channel empty.
+			select {
+			case <-b.done:
+				closing = true
+			default:
+			}
+		}
+	}
+}
+
+// fail resolves everything pending with err and then answers every further
+// submission with it until the bridge is closed.
+func (b *Bridge) fail(proto *bridgeProto, err error) {
+	proto.failAll(err)
+	for {
+		select {
+		case o := <-b.submit:
+			o.out <- countq.Completion{Op: o.op, Err: err}
+			if o.settled != nil {
+				o.settled()
+			}
+		case <-b.done:
+			return
+		}
+	}
+}
+
+// sleepHop spends one hop latency of wall time. Short latencies spin with
+// Gosched (time.Sleep's timer floor would inflate sub-50µs hops by an
+// order of magnitude); long ones sleep.
+func (b *Bridge) sleepHop() {
+	d := b.cfg.HopLat
+	switch {
+	case d <= 0:
+		runtime.Gosched()
+	case d < 50*time.Microsecond:
+		t0 := time.Now()
+		for time.Since(t0) < d {
+			runtime.Gosched()
+		}
+	default:
+		time.Sleep(d)
+	}
+}
+
+// bridgeSession is one worker's conversation with the bridge. Owned by one
+// goroutine, like every Session.
+type bridgeSession struct {
+	b           *Bridge
+	node        int
+	out         chan countq.Completion
+	outstanding atomic.Int64
+}
+
+// errBridgeClosed reports operations against a closed bridge.
+var errBridgeClosed = fmt.Errorf("sim: bridge is closed")
+
+// roundTrip submits op on a fresh reply channel and blocks for its
+// completion — the synchronous view of the asynchronous protocol.
+func (s *bridgeSession) roundTrip(ctx context.Context, op countq.Op) (int64, error) {
+	reply := make(chan countq.Completion, 1)
+	if err := s.send(ctx, bridgeOp{node: s.node, op: op, out: reply}); err != nil {
+		return 0, err
+	}
+	select {
+	case c := <-reply:
+		return c.Value, c.Err
+	case <-ctx.Done():
+		// The operation was accepted and will still execute; its grant is
+		// abandoned (see AsyncSession's contract on cancellation).
+		return 0, ctx.Err()
+	case <-s.b.pumpExit:
+		// The pump exited; prefer a completion that beat it out the door.
+		select {
+		case c := <-reply:
+			return c.Value, c.Err
+		default:
+			return 0, errBridgeClosed
+		}
+	}
+}
+
+// Inc implements countq.Session (counting bridges only).
+func (s *bridgeSession) Inc(ctx context.Context) (int64, error) {
+	if s.b.cfg.Queue {
+		return 0, fmt.Errorf("sim: Inc on a queue bridge session: %w", countq.ErrUnsupported)
+	}
+	return s.roundTrip(ctx, countq.Op{Kind: countq.OpInc, N: 1})
+}
+
+// IncN implements countq.BatchSession: one request message grants the
+// whole block in a single round trip — the batching escape hatch priced at
+// exactly one coordination round.
+func (s *bridgeSession) IncN(ctx context.Context, n int64) (int64, error) {
+	if s.b.cfg.Queue {
+		return 0, fmt.Errorf("sim: IncN on a queue bridge session: %w", countq.ErrUnsupported)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("sim: IncN(%d): block size must be ≥ 1", n)
+	}
+	if int64(int(n)) != n {
+		return 0, fmt.Errorf("sim: IncN(%d): block size overflows the message payload", n)
+	}
+	return s.roundTrip(ctx, countq.Op{Kind: countq.OpInc, N: n})
+}
+
+// Enqueue implements countq.Session (queue bridges only).
+func (s *bridgeSession) Enqueue(ctx context.Context, id int64) (int64, error) {
+	if !s.b.cfg.Queue {
+		return 0, fmt.Errorf("sim: Enqueue on a counter bridge session: %w", countq.ErrUnsupported)
+	}
+	if int64(int(id)) != id || id < 0 {
+		return 0, fmt.Errorf("sim: Enqueue id %d outside the message payload range", id)
+	}
+	return s.roundTrip(ctx, countq.Op{Kind: countq.OpEnqueue, ID: id})
+}
+
+// Submit implements countq.AsyncSession: the operation is queued for
+// injection and its Completion arrives on Completions. An error means the
+// operation was not accepted.
+func (s *bridgeSession) Submit(ctx context.Context, op countq.Op) error {
+	if s.b.cfg.Queue != (op.Kind == countq.OpEnqueue) {
+		return fmt.Errorf("sim: %v on a %s bridge session: %w", op.Kind, map[bool]string{true: "queue", false: "counter"}[s.b.cfg.Queue], countq.ErrUnsupported)
+	}
+	if op.Kind == countq.OpEnqueue && (int64(int(op.ID)) != op.ID || op.ID < 0) {
+		return fmt.Errorf("sim: Enqueue id %d outside the message payload range", op.ID)
+	}
+	if op.Kind == countq.OpInc && int64(int(op.N)) != op.N {
+		return fmt.Errorf("sim: IncN(%d): block size overflows the message payload", op.N)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.outstanding.Load() >= bridgePipeline {
+		return fmt.Errorf("sim: bridge session pipeline full (%d operations outstanding)", bridgePipeline)
+	}
+	s.outstanding.Add(1)
+	if err := s.send(ctx, bridgeOp{node: s.node, op: op, out: s.out, settled: func() { s.outstanding.Add(-1) }}); err != nil {
+		s.outstanding.Add(-1)
+		return err
+	}
+	return nil
+}
+
+// Completions implements countq.AsyncSession.
+func (s *bridgeSession) Completions() <-chan countq.Completion {
+	return s.out
+}
+
+// Close drains any unconsumed async completions (their operations have
+// executed; abandoning them is the caller's choice) and detaches the
+// session. The channel itself is never closed — consumers track their own
+// outstanding count.
+func (s *bridgeSession) Close() error {
+	for s.outstanding.Load() > 0 {
+		select {
+		case <-s.out:
+		case <-s.b.pumpExit:
+			return nil // pump gone; nothing more will arrive
+		case <-time.After(10 * time.Millisecond):
+			// outstanding is decremented after the push, so a brief wait
+			// between observing the count and the arrival is expected;
+			// loop and re-check.
+		}
+	}
+	for {
+		select {
+		case <-s.out:
+		default:
+			return nil
+		}
+	}
+}

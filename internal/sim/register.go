@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"time"
+
+	"repro/countq"
+)
+
+// The bridge structures register with the public countq registry v3, so
+// the message-passing protocols run under the same scenario engine,
+// validation pass and campaign comparisons as the shared-memory zoo:
+//
+//	countq compare "sharded?shards=8,sim-counter?hoplat=1us" -scenario "ramp?gmax=8"
+//
+// They are native session structures — their coordination round is a
+// routed message round trip, not a synchronous call — so they have no
+// legacy Counter/Queuer view and are driven exclusively through sessions
+// (which is the point: this backend is expressible only in the v2 API).
+func init() {
+	params := []countq.ParamInfo{
+		{Name: "hoplat", Default: "1us", Doc: "wall-clock cost of one simulated round (one message hop); 0 = free-running"},
+		{Name: "nodes", Default: "9", Doc: "network size (root + leaves; sessions pin round-robin to non-root nodes)"},
+		{Name: "topo", Default: "star", Doc: "topology: star (hub contention) | list (diameter) | mesh2d"},
+		{Name: "cap", Default: "1", Doc: "per-node per-round send/receive capacity — the paper's c"},
+	}
+	parse := func(o countq.Options, queue bool) (countq.Structure, error) {
+		cfg := BridgeConfig{
+			Topo:     o.String("topo", "star"),
+			Nodes:    o.Int("nodes", 0),
+			HopLat:   o.Duration("hoplat", time.Microsecond),
+			Capacity: o.Int("cap", 0),
+			Queue:    queue,
+		}
+		if err := o.Err(); err != nil {
+			return nil, err
+		}
+		return NewBridge(cfg)
+	}
+	countq.RegisterStructure(countq.StructureInfo{
+		Name:         "sim-counter",
+		Summary:      "central counting over the simulated message-passing network (requests route to the root, grants route back; hop latency and root capacity are the coordination cost)",
+		Kinds:        countq.KindCounter,
+		Linearizable: true,
+		Params:       params,
+		Caps:         countq.CapBatch | countq.CapAsync,
+		New: func(o countq.Options) (countq.Structure, error) {
+			return parse(o, false)
+		},
+	})
+	countq.RegisterStructure(countq.StructureInfo{
+		Name:         "sim-queue",
+		Summary:      "central queuing over the simulated message-passing network (the root remembers the tail and hands each request its predecessor)",
+		Kinds:        countq.KindQueue,
+		Linearizable: true,
+		Params:       params,
+		Caps:         countq.CapAsync,
+		New: func(o countq.Options) (countq.Structure, error) {
+			return parse(o, true)
+		},
+	})
+}

@@ -188,7 +188,10 @@ func New(cfg Config, p Protocol) *Network {
 	return nw
 }
 
-// Network couples a Protocol with an Env and executes rounds.
+// Network couples a Protocol with an Env and executes rounds — to
+// quiescence with Run, or one round at a time with Begin/Step/Quiescent
+// for drivers that advance the simulation on their own clock (the countq
+// bridge maps each Step to a configurable wall-clock hop latency).
 type Network struct {
 	proto     Protocol
 	maxRounds int
@@ -199,70 +202,87 @@ type Network struct {
 // after the run (e.g. to read rounds for delay accounting).
 func (nw *Network) Env() *Env { return &nw.env }
 
+// Begin runs round 0: the protocol's Start hook for every node, then the
+// initial send phase. Run calls it implicitly; step-driven callers invoke
+// it once before the first Step.
+func (nw *Network) Begin() error {
+	e := &nw.env
+	for v := 0; v < e.g.N(); v++ {
+		nw.proto.Start(e, v)
+		if e.err != nil {
+			return e.err
+		}
+	}
+	e.sendPhase()
+	return e.err
+}
+
+// Step executes one simulation round unconditionally: deliver messages
+// whose flight ends this round, let each node receive up to capacity (the
+// protocol's Deliver runs), tick, then send up to capacity per node. It
+// reports a protocol failure or strict-mode violation; callers impose
+// their own round bounds.
+func (nw *Network) Step() error {
+	e := &nw.env
+	n := e.g.N()
+	e.round++
+	e.deliverPhase()
+	// Receive phase: each node handles up to capacity messages.
+	for v := 0; v < n; v++ {
+		for k := 0; k < e.capacity; k++ {
+			m, ok := e.inbox[v].pop()
+			if !ok {
+				break
+			}
+			if e.stats.Received != nil {
+				e.stats.Received[v]++
+			}
+			nw.proto.Deliver(e, v, m)
+			if e.err != nil {
+				return e.err
+			}
+		}
+		if backlog := e.inbox[v].len(); backlog > e.stats.MaxInboxBacklog {
+			e.stats.MaxInboxBacklog = backlog
+			if e.strict {
+				e.err = fmt.Errorf("sim: strict violation: node %d inbox backlog %d in round %d", v, backlog, e.round)
+				return e.err
+			}
+		}
+	}
+	if ticker, ok := nw.proto.(Ticker); ok {
+		for v := 0; v < n; v++ {
+			ticker.Tick(e, v)
+			if e.err != nil {
+				return e.err
+			}
+		}
+	}
+	e.sendPhase()
+	return e.err
+}
+
+// Quiescent reports whether no message is queued or in flight.
+func (nw *Network) Quiescent() bool { return nw.env.quiescent() }
+
 // Run executes the protocol until the network is quiescent (no queued or
 // in-flight messages). It returns the run statistics, or an error if the
 // round bound was hit or a strict-mode violation occurred.
 func (nw *Network) Run() (Stats, error) {
 	e := &nw.env
-	n := e.g.N()
-
-	// Round 0: issue operations, then transmit.
-	for v := 0; v < n; v++ {
-		nw.proto.Start(e, v)
-		if e.err != nil {
-			return e.stats, e.err
-		}
+	if err := nw.Begin(); err != nil {
+		return e.stats, err
 	}
-	e.sendPhase()
-	if e.err != nil {
-		return e.stats, e.err
-	}
-
-	ticker, hasTick := nw.proto.(Ticker)
 	scheduler, hasSched := nw.proto.(Scheduler)
 	pending := func() bool {
 		return hasSched && e.round < scheduler.PendingUntil()
 	}
 	for !e.quiescent() || pending() {
-		e.round++
-		if e.round > nw.maxRounds {
+		if e.round+1 > nw.maxRounds {
 			return e.stats, fmt.Errorf("sim: round bound %d exceeded (livelock?)", nw.maxRounds)
 		}
-		e.deliverPhase()
-		// Receive phase: each node handles up to capacity messages.
-		for v := 0; v < n; v++ {
-			for k := 0; k < e.capacity; k++ {
-				m, ok := e.inbox[v].pop()
-				if !ok {
-					break
-				}
-				if e.stats.Received != nil {
-					e.stats.Received[v]++
-				}
-				nw.proto.Deliver(e, v, m)
-				if e.err != nil {
-					return e.stats, e.err
-				}
-			}
-			if backlog := e.inbox[v].len(); backlog > e.stats.MaxInboxBacklog {
-				e.stats.MaxInboxBacklog = backlog
-				if e.strict {
-					e.err = fmt.Errorf("sim: strict violation: node %d inbox backlog %d in round %d", v, backlog, e.round)
-					return e.stats, e.err
-				}
-			}
-		}
-		if hasTick {
-			for v := 0; v < n; v++ {
-				ticker.Tick(e, v)
-				if e.err != nil {
-					return e.stats, e.err
-				}
-			}
-		}
-		e.sendPhase()
-		if e.err != nil {
-			return e.stats, e.err
+		if err := nw.Step(); err != nil {
+			return e.stats, err
 		}
 	}
 	e.stats.Rounds = e.round
