@@ -282,7 +282,7 @@ func BenchmarkShmCounterBatch(b *testing.B) {
 // handle fast path included, where the structure has one) through the
 // context-taking v2 API.
 func BenchmarkSessionCounters(b *testing.B) {
-	for _, name := range []string{"atomic", "sharded"} {
+	for _, name := range []string{"atomic", "sharded", "async-funnel"} {
 		name := name
 		st, err := countq.NewStructure(name, countq.KindCounter)
 		if err != nil {
@@ -509,7 +509,33 @@ func TestBenchJSON(t *testing.T) {
 			{Counter: "sim-counter?hoplat=200ns", Inflight: 32},
 		},
 	}
-	for _, c := range []countq.Campaign{steady, rampC, batch, queues, queuesRamp, async} {
+	// The native combining backends: the synchronous combining funnel as
+	// the baseline against the natively-async funnel, synchronous and
+	// pipelined. Open (uniform) arrivals so the corrected quantiles are
+	// recorded — the async entry's claim is precisely that overlapping
+	// the combining round improves completion-vs-intended tail latency,
+	// which a closed loop cannot see. Like the sim bridge, these register
+	// through RegisterStructure only, so the legacy rosters above never
+	// pick them up.
+	nativeAsync := countq.Campaign{
+		Name: "counters-native-async",
+		Base: countq.Workload{Arrival: countq.Uniform},
+		Entries: []countq.Entry{
+			{Counter: "funnel"},
+			{Counter: "async-funnel"},
+			{Counter: "async-funnel", Inflight: 8},
+		},
+	}
+	queuesNative := countq.Campaign{
+		Name: "queues-native-async",
+		Base: countq.Workload{Arrival: countq.Uniform},
+		Entries: []countq.Entry{
+			{Queue: "swap"},
+			{Queue: "elim"},
+			{Queue: "elim", Inflight: 8},
+		},
+	}
+	for _, c := range []countq.Campaign{steady, rampC, batch, queues, queuesRamp, async, nativeAsync, queuesNative} {
 		run(c)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

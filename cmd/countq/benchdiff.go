@@ -20,11 +20,12 @@ type benchFile struct {
 }
 
 // benchPoint is one record's regression-relevant numbers: aggregate p99
-// per op kind and aggregate throughput.
+// per op kind, aggregate throughput, and aggregate allocations per op.
 type benchPoint struct {
 	counterP99 float64
 	queueP99   float64
 	opsPerSec  float64
+	allocsOp   float64
 }
 
 // benchdiffCmd implements `countq benchdiff [-noise F] OLD.json NEW.json`:
@@ -89,7 +90,7 @@ func benchPoints(f *benchFile) map[string]benchPoint {
 		for i := range cmp.Results {
 			r := &cmp.Results[i]
 			a := &r.Metrics.Aggregate
-			pt := benchPoint{opsPerSec: a.OpsPerSec()}
+			pt := benchPoint{opsPerSec: a.OpsPerSec(), allocsOp: a.AllocsPerOp}
 			if a.CounterLat != nil {
 				pt.counterP99 = a.CounterLat.P99Ns
 			}
@@ -146,11 +147,35 @@ func diffBenchFiles(w io.Writer, oldPath, newPath string, noise float64) (int, e
 		}
 		fmt.Fprintf(w, "%-54s %-14s %12.1f %12.1f %+7.1f%%%s\n", key, metric, old, new, delta*100, flag)
 	}
+	// Allocations per op use the same noise band plus an absolute
+	// half-alloc grace: the whole-process GC counters jitter near zero
+	// (timer resets, GC bookkeeping), so 0 → 0.3 is measurement noise
+	// while 0 → 1 is a real object on the hot path — exactly the
+	// regression the zero-allocation gates exist to catch. Unlike the
+	// ratio metrics, an old value of 0 still participates.
+	checkAllocs := func(key string, old, new float64) {
+		if old < 0 || new < 0 {
+			return
+		}
+		flag := ""
+		if new > old*(1+noise)+0.5 {
+			flag = "  REGRESSION"
+			regressions++
+		}
+		deltaCell := "     new"
+		if old > 0 {
+			deltaCell = fmt.Sprintf("%+7.1f%%", (new/old-1)*100)
+		} else if new == 0 {
+			deltaCell = "       ="
+		}
+		fmt.Fprintf(w, "%-54s %-14s %12.2f %12.2f %s%s\n", key, "allocs/op", old, new, deltaCell, flag)
+	}
 	for _, k := range keys {
 		o, n := oldPts[k], newPts[k]
 		check(k, "counter p99", o.counterP99, n.counterP99, false)
 		check(k, "queue p99", o.queueP99, n.queueP99, false)
 		check(k, "ops/sec", o.opsPerSec, n.opsPerSec, true)
+		checkAllocs(k, o.allocsOp, n.allocsOp)
 	}
 	reportOnly := func(pts map[string]benchPoint, other map[string]benchPoint, which string) {
 		var only []string

@@ -13,7 +13,7 @@ import (
 
 // mkBenchFile writes a benchjson file with one campaign of hand-built
 // aggregates, returning its path. opsPerSec is encoded via Ops/Elapsed.
-func mkBenchFile(t *testing.T, name string, points map[string]struct{ p99, opsPerSec float64 }) string {
+func mkBenchFile(t *testing.T, name string, points map[string]struct{ p99, opsPerSec, allocs float64 }) string {
 	t.Helper()
 	cmp := &countq.Comparison{Name: "camp", Baseline: "a"}
 	for label, pt := range points {
@@ -24,9 +24,10 @@ func mkBenchFile(t *testing.T, name string, points map[string]struct{ p99, opsPe
 			Metrics: &countq.Metrics{
 				Counter: label,
 				Aggregate: countq.Aggregate{
-					Ops:        ops,
-					Elapsed:    elapsed,
-					CounterLat: &countq.LatencyStats{Samples: 1, P99Ns: pt.p99},
+					Ops:         ops,
+					Elapsed:     elapsed,
+					CounterLat:  &countq.LatencyStats{Samples: 1, P99Ns: pt.p99},
+					AllocsPerOp: pt.allocs,
 				},
 			},
 		})
@@ -44,7 +45,7 @@ func mkBenchFile(t *testing.T, name string, points map[string]struct{ p99, opsPe
 }
 
 func TestBenchdiffDetectsRegressions(t *testing.T) {
-	type pt = struct{ p99, opsPerSec float64 }
+	type pt = struct{ p99, opsPerSec, allocs float64 }
 	old := mkBenchFile(t, "old.json", map[string]pt{
 		"a": {p99: 100, opsPerSec: 1000},
 		"b": {p99: 100, opsPerSec: 1000},
@@ -85,10 +86,38 @@ func TestBenchdiffDetectsRegressions(t *testing.T) {
 	}
 }
 
+// TestBenchdiffAllocRegressions pins the allocs/op gate: the noise band
+// applies multiplicatively like the other metrics, plus an absolute
+// half-alloc grace so counter jitter near zero never trips it — but a
+// structure going from allocation-free to one real object per op does.
+func TestBenchdiffAllocRegressions(t *testing.T) {
+	type pt = struct{ p99, opsPerSec, allocs float64 }
+	old := mkBenchFile(t, "old.json", map[string]pt{
+		"a": {100, 1000, 0},  // zero-alloc baseline…
+		"b": {100, 1000, 0},  // …with jitter headroom
+		"c": {100, 1000, 10}, // allocating baseline, within band
+		"d": {100, 1000, 10}, // allocating baseline, beyond band
+	})
+	new := mkBenchFile(t, "new.json", map[string]pt{
+		"a": {100, 1000, 2},    // 0 → 2: a real object on the hot path
+		"b": {100, 1000, 0.3},  // 0 → 0.3: counter jitter, forgiven
+		"c": {100, 1000, 11.4}, // ≤ 10×1.1 + 0.5
+		"d": {100, 1000, 12},   // > 10×1.1 + 0.5
+	})
+	var b strings.Builder
+	n, err := diffBenchFiles(&b, old, new, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("alloc regressions = %d, want 2 (a and d):\n%s", n, b.String())
+	}
+}
+
 func TestBenchdiffToleratesDisjointRecords(t *testing.T) {
-	type pt = struct{ p99, opsPerSec float64 }
-	old := mkBenchFile(t, "old.json", map[string]pt{"a": {100, 1000}, "gone": {100, 1000}})
-	new := mkBenchFile(t, "new.json", map[string]pt{"a": {100, 1000}, "added": {100, 1000}})
+	type pt = struct{ p99, opsPerSec, allocs float64 }
+	old := mkBenchFile(t, "old.json", map[string]pt{"a": {100, 1000, 0}, "gone": {100, 1000, 0}})
+	new := mkBenchFile(t, "new.json", map[string]pt{"a": {100, 1000, 0}, "added": {100, 1000, 0}})
 	var b strings.Builder
 	n, err := diffBenchFiles(&b, old, new, 0.10)
 	if err != nil {

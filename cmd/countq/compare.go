@@ -104,6 +104,13 @@ func compareCampaignCmd(args []string) {
 		fmt.Fprintln(os.Stderr, "arrivals (uniform|bursty) and -inflight pipelining; '-' for plain closed")
 		fmt.Fprintln(os.Stderr, "loops, where they would equal the service-time quantiles.")
 		fmt.Fprintln(os.Stderr, "")
+		fmt.Fprintln(os.Stderr, "allocs/op is heap allocations per operation, measured over the whole")
+		fmt.Fprintln(os.Stderr, "phase via runtime GC counters; the driver preallocates its own state")
+		fmt.Fprintln(os.Stderr, "before each phase's start barrier, so the number is the structure's")
+		fmt.Fprintln(os.Stderr, "allocation cost, and allocation-free structures report 0.00. Δalloc is")
+		fmt.Fprintln(os.Stderr, "this/baseline; '-' when either side allocates nothing. -csv adds")
+		fmt.Fprintln(os.Stderr, "alloc_bytes_per_op and live_peak_bytes (peak sampled live heap).")
+		fmt.Fprintln(os.Stderr, "")
 		fmt.Fprintln(os.Stderr, "The fair column is min/max per-worker ops (1 = perfectly fair service).")
 		fmt.Fprintln(os.Stderr, "On a single-core host (GOMAXPROCS=1) closed-loop phases legitimately")
 		fmt.Fprintln(os.Stderr, "report fairness ≈ 0 — one worker drains the shared op pool per")
@@ -241,8 +248,8 @@ func printComparison(w io.Writer, cmp *countq.Comparison) {
 	}
 	fmt.Fprintf(w, "campaign scenario=%s goroutines=%d seed=%d baseline=%s\n",
 		scenario, cmp.Goroutines, cmp.Seed, cmp.Baseline)
-	fmt.Fprintf(w, "%-28s %-12s %8s %9s %8s %8s %8s %8s %8s %5s  %7s %7s %7s\n",
-		"structure", "phase", "ops", "ns/op", "Mops/s", "p50", "p99", "cp50", "cp99", "fair", "Δns/op", "Δp99", "Δtput")
+	fmt.Fprintf(w, "%-28s %-12s %8s %9s %8s %8s %8s %8s %8s %5s %9s  %7s %7s %7s %7s\n",
+		"structure", "phase", "ops", "ns/op", "Mops/s", "p50", "p99", "cp50", "cp99", "fair", "allocs/op", "Δns/op", "Δp99", "Δtput", "Δalloc")
 	cell := func(v float64) string {
 		if v == 0 {
 			return "-"
@@ -256,12 +263,12 @@ func printComparison(w io.Writer, cmp *countq.Comparison) {
 		}
 		return fmt.Sprintf("%.0f", lat.P50Ns), fmt.Sprintf("%.0f", lat.P99Ns)
 	}
-	row := func(label, phase string, ops int, nsPerOp, opsPerSec float64, cl, ql, cc, qc *countq.LatencyStats, fair float64, d countq.Delta) {
+	row := func(label, phase string, ops int, nsPerOp, opsPerSec float64, cl, ql, cc, qc *countq.LatencyStats, fair, allocs float64, d countq.Delta) {
 		p50, p99 := latPair(cl, ql)
 		cp50, cp99 := latPair(cc, qc)
-		fmt.Fprintf(w, "%-28s %-12s %8d %9.1f %8.2f %8s %8s %8s %8s %5.2f  %7s %7s %7s\n",
-			label, phase, ops, nsPerOp, opsPerSec/1e6, p50, p99, cp50, cp99, fair,
-			cell(d.NsPerOpRatio), cell(d.P99Ratio), cell(d.ThroughputRatio))
+		fmt.Fprintf(w, "%-28s %-12s %8d %9.1f %8.2f %8s %8s %8s %8s %5.2f %9.2f  %7s %7s %7s %7s\n",
+			label, phase, ops, nsPerOp, opsPerSec/1e6, p50, p99, cp50, cp99, fair, allocs,
+			cell(d.NsPerOpRatio), cell(d.P99Ratio), cell(d.ThroughputRatio), cell(d.AllocsRatio))
 	}
 	hasWarmup := false
 	for i := range cmp.Results {
@@ -277,10 +284,10 @@ func printComparison(w io.Writer, cmp *countq.Comparison) {
 				name += "~"
 				hasWarmup = true
 			}
-			row(label, name, p.Ops, p.NsPerOp(), p.OpsPerSec(), p.CounterLat, p.QueueLat, p.CounterCorr, p.QueueCorr, p.Fairness, r.PhaseDeltas[j])
+			row(label, name, p.Ops, p.NsPerOp(), p.OpsPerSec(), p.CounterLat, p.QueueLat, p.CounterCorr, p.QueueCorr, p.Fairness, p.AllocsPerOp, r.PhaseDeltas[j])
 		}
 		a := &r.Metrics.Aggregate
-		row(label, "aggregate", a.Ops, a.NsPerOp(), a.OpsPerSec(), a.CounterLat, a.QueueLat, a.CounterCorr, a.QueueCorr, a.Fairness, r.AggregateDelta)
+		row(label, "aggregate", a.Ops, a.NsPerOp(), a.OpsPerSec(), a.CounterLat, a.QueueLat, a.CounterCorr, a.QueueCorr, a.Fairness, a.AllocsPerOp, r.AggregateDelta)
 	}
 	notes := []string{"(*) baseline structure; Δ columns are this/baseline ratios"}
 	if hasWarmup {
@@ -288,6 +295,7 @@ func printComparison(w io.Writer, cmp *countq.Comparison) {
 	}
 	fmt.Fprintln(w, strings.Join(notes, "; "))
 	fmt.Fprintln(w, "cp50/cp99 are coordinated-omission-corrected quantiles (completion vs intended start); '-' for plain closed loops")
+	fmt.Fprintln(w, "allocs/op is heap allocations per operation (workers preallocate, so allocation-free structures report 0.00; Δalloc '-' when either side is 0)")
 	fmt.Fprintln(w, "every structure validated independently: counts distinct and gap-free, predecessors one total order")
 	fmt.Fprintln(w, "fairness is min/max worker ops; ≈ 0 on a single-core host is the scheduler, not the structure (see compare -h)")
 }

@@ -28,8 +28,11 @@
 // compare runs a campaign: several structure specs under one scenario's
 // byte-identical phase sequence and a shared seed, reporting per-phase
 // metrics plus delta ratios against a baseline spec (table, -csv, -md or
-// -json). benchdiff compares two -benchjson files on p99 and throughput
-// within a noise band and exits nonzero on regression. topo compares the
+// -json). Alongside latency and throughput every table carries memory
+// columns — allocs/op and the live-heap peak with its windowed timeline —
+// so coordination cost and allocation cost read side by side. benchdiff
+// compares two -benchjson files on p99, throughput and allocs/op within
+// a noise band and exits nonzero on regression. topo compares the
 // distributed protocols on a chosen topology.
 //
 // Experiments, protocols and scenarios all come from registries
@@ -297,11 +300,11 @@ func printMetrics(w io.Writer, m *countq.Metrics) {
 		head += " scenario=" + m.Scenario
 	}
 	fmt.Fprintf(w, "%s goroutines=%d seed=%d elapsed=%v\n", head, m.Goroutines, m.Seed, m.Elapsed.Round(time.Microsecond))
-	fmt.Fprintf(w, "%-12s %5s %5s %8s %9s %10s  %-30s %-30s %-24s %5s\n",
-		"phase", "g", "mix", "ops", "ns/op", "Mops/s", "counting p50/p99/p999", "queuing p50/p99/p999", "corrected p50/p99", "fair")
-	row := func(name string, g int, mix string, ops int, nsPerOp, mopsPerSec float64, cl, ql, cc, qc *countq.LatencyStats, fair string) {
-		fmt.Fprintf(w, "%-12s %5d %5s %8d %9.1f %10.2f  %-30s %-30s %-24s %5s\n",
-			name, g, mix, ops, nsPerOp, mopsPerSec, latCell(cl), latCell(ql), corrCell(cc, qc), fair)
+	fmt.Fprintf(w, "%-12s %5s %5s %8s %9s %10s  %-30s %-30s %-24s %5s %9s\n",
+		"phase", "g", "mix", "ops", "ns/op", "Mops/s", "counting p50/p99/p999", "queuing p50/p99/p999", "corrected p50/p99", "fair", "allocs/op")
+	row := func(name string, g int, mix string, ops int, nsPerOp, mopsPerSec float64, cl, ql, cc, qc *countq.LatencyStats, fair string, allocs float64) {
+		fmt.Fprintf(w, "%-12s %5d %5s %8d %9.1f %10.2f  %-30s %-30s %-24s %5s %9.2f\n",
+			name, g, mix, ops, nsPerOp, mopsPerSec, latCell(cl), latCell(ql), corrCell(cc, qc), fair, allocs)
 	}
 	hasCorr := false
 	for i := range m.Phases {
@@ -317,16 +320,23 @@ func printMetrics(w io.Writer, m *countq.Metrics) {
 		if p.CounterCorr != nil || p.QueueCorr != nil {
 			hasCorr = true
 		}
-		row(name, p.Goroutines, fmt.Sprintf("%.2f", p.Mix), p.Ops, p.NsPerOp(), tput, p.CounterLat, p.QueueLat, p.CounterCorr, p.QueueCorr, fmt.Sprintf("%.2f", p.Fairness))
+		row(name, p.Goroutines, fmt.Sprintf("%.2f", p.Mix), p.Ops, p.NsPerOp(), tput, p.CounterLat, p.QueueLat, p.CounterCorr, p.QueueCorr, fmt.Sprintf("%.2f", p.Fairness), p.AllocsPerOp)
 	}
 	a := &m.Aggregate
 	tput := 0.0
 	if a.Elapsed > 0 {
 		tput = float64(a.Ops) / a.Elapsed.Seconds() / 1e6
 	}
-	row("aggregate", m.Goroutines, "", a.Ops, a.NsPerOp(), tput, a.CounterLat, a.QueueLat, a.CounterCorr, a.QueueCorr, fmt.Sprintf("%.2f", a.Fairness))
+	row("aggregate", m.Goroutines, "", a.Ops, a.NsPerOp(), tput, a.CounterLat, a.QueueLat, a.CounterCorr, a.QueueCorr, fmt.Sprintf("%.2f", a.Fairness), a.AllocsPerOp)
 	if len(a.Timeline) > 1 {
 		fmt.Fprintf(w, "throughput timeline (Mops/s): %s\n", timelineCells(a.Timeline))
+	}
+	if a.LivePeakBytes > 0 {
+		fmt.Fprintf(w, "live heap peak: %s", byteCell(a.LivePeakBytes))
+		if len(a.MemTimeline) > 1 {
+			fmt.Fprintf(w, "   timeline: %s", memTimelineCells(a.MemTimeline))
+		}
+		fmt.Fprintln(w)
 	}
 	for i := range m.Phases {
 		if m.Phases[i].Warmup {
@@ -358,6 +368,32 @@ func corrCell(c, q *countq.LatencyStats) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.0f/%.0f ns", l.P50Ns, l.P99Ns)
+}
+
+// byteCell renders a byte count human-readably.
+func byteCell(b int64) string {
+	switch {
+	case b < 1<<10:
+		return fmt.Sprintf("%dB", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	}
+}
+
+// memTimelineCells renders the live-heap timeline as one peak per window.
+func memTimelineCells(tl []countq.MemWindow) string {
+	var b strings.Builder
+	for i, win := range tl {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(byteCell(win.PeakBytes))
+	}
+	return b.String()
 }
 
 // timelineCells renders the aggregate throughput timeline as one number

@@ -112,6 +112,13 @@ type Delta struct {
 	P50Ratio        float64 `json:"p50_ratio,omitempty"`
 	P99Ratio        float64 `json:"p99_ratio,omitempty"`
 	FairnessRatio   float64 `json:"fairness_ratio,omitempty"`
+	// AllocsRatio and LivePeakRatio compare the memory cost of counting:
+	// heap allocations per operation and the peak live heap while the
+	// phase ran. Below 1 means this entry allocates (or retains) less
+	// than the baseline. An entry that allocates nothing per op has no
+	// meaningful ratio and is omitted as 0, like the latency ratios.
+	AllocsRatio   float64 `json:"allocs_ratio,omitempty"`
+	LivePeakRatio float64 `json:"live_peak_ratio,omitempty"`
 }
 
 // StructureResult is one entry's outcome: its full Metrics plus the
@@ -226,6 +233,8 @@ func (c Campaign) Run() (*Comparison, error) {
 				P50Ratio:        latRatio(p.CounterLat, bp.CounterLat, p.QueueLat, bp.QueueLat, func(l *LatencyStats) float64 { return l.P50Ns }),
 				P99Ratio:        latRatio(p.CounterLat, bp.CounterLat, p.QueueLat, bp.QueueLat, func(l *LatencyStats) float64 { return l.P99Ns }),
 				FairnessRatio:   ratio(p.Fairness, bp.Fairness),
+				AllocsRatio:     ratio(p.AllocsPerOp, bp.AllocsPerOp),
+				LivePeakRatio:   ratio(float64(p.LivePeakBytes), float64(bp.LivePeakBytes)),
 			})
 		}
 		a, ba := &r.Metrics.Aggregate, &bm.Aggregate
@@ -236,6 +245,8 @@ func (c Campaign) Run() (*Comparison, error) {
 			P50Ratio:        latRatio(a.CounterLat, ba.CounterLat, a.QueueLat, ba.QueueLat, func(l *LatencyStats) float64 { return l.P50Ns }),
 			P99Ratio:        latRatio(a.CounterLat, ba.CounterLat, a.QueueLat, ba.QueueLat, func(l *LatencyStats) float64 { return l.P99Ns }),
 			FairnessRatio:   ratio(a.Fairness, ba.Fairness),
+			AllocsRatio:     ratio(a.AllocsPerOp, ba.AllocsPerOp),
+			LivePeakRatio:   ratio(float64(a.LivePeakBytes), float64(ba.LivePeakBytes)),
 		}
 	}
 	return cmp, nil
@@ -270,8 +281,9 @@ var csvHeader = []string{
 	"ops", "elapsed_ns", "ns_per_op", "ops_per_sec",
 	"counter_p50_ns", "counter_p99_ns", "queue_p50_ns", "queue_p99_ns",
 	"counter_corr_p50_ns", "counter_corr_p99_ns", "queue_corr_p50_ns", "queue_corr_p99_ns",
-	"fairness",
+	"fairness", "allocs_per_op", "alloc_bytes_per_op", "live_peak_bytes",
 	"ns_per_op_ratio", "throughput_ratio", "p50_ratio", "p99_ratio", "fairness_ratio",
+	"allocs_ratio", "live_peak_ratio",
 }
 
 // MarshalCSV renders the comparison as CSV: the header above, then one row
@@ -302,8 +314,10 @@ func (c *Comparison) MarshalCSV() ([]byte, error) {
 				latNum(p.QueueCorr, func(l *LatencyStats) float64 { return l.P50Ns }),
 				latNum(p.QueueCorr, func(l *LatencyStats) float64 { return l.P99Ns }),
 				num(p.Fairness),
+				num(p.AllocsPerOp), num(p.AllocBytesPerOp), strconv.FormatInt(p.LivePeakBytes, 10),
 				ratioNum(d.NsPerOpRatio), ratioNum(d.ThroughputRatio),
 				ratioNum(d.P50Ratio), ratioNum(d.P99Ratio), ratioNum(d.FairnessRatio),
+				ratioNum(d.AllocsRatio), ratioNum(d.LivePeakRatio),
 			}
 			if err := w.Write(row); err != nil {
 				return nil, err
@@ -325,8 +339,10 @@ func (c *Comparison) MarshalCSV() ([]byte, error) {
 			latNum(a.QueueCorr, func(l *LatencyStats) float64 { return l.P50Ns }),
 			latNum(a.QueueCorr, func(l *LatencyStats) float64 { return l.P99Ns }),
 			num(a.Fairness),
+			num(a.AllocsPerOp), num(a.AllocBytesPerOp), strconv.FormatInt(a.LivePeakBytes, 10),
 			ratioNum(d.NsPerOpRatio), ratioNum(d.ThroughputRatio),
 			ratioNum(d.P50Ratio), ratioNum(d.P99Ratio), ratioNum(d.FairnessRatio),
+			ratioNum(d.AllocsRatio), ratioNum(d.LivePeakRatio),
 		}
 		if err := w.Write(row); err != nil {
 			return nil, err
@@ -350,8 +366,8 @@ func (c *Comparison) MarshalMarkdown() ([]byte, error) {
 	}
 	fmt.Fprintf(&buf, "%s\n\n", head)
 	fmt.Fprintf(&buf, "scenario `%s` · goroutines %d · seed %d · baseline `%s`\n\n", orDash(c.Scenario), c.Goroutines, c.Seed, c.Baseline)
-	fmt.Fprintln(&buf, "| structure | phase | ops | ns/op | Mops/s | p50 ns | p99 ns | corr p50 | corr p99 | fairness | Δns/op | Δp99 | Δtput |")
-	fmt.Fprintln(&buf, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+	fmt.Fprintln(&buf, "| structure | phase | ops | ns/op | Mops/s | p50 ns | p99 ns | corr p50 | corr p99 | fairness | allocs/op | live peak | Δns/op | Δp99 | Δtput | Δalloc |")
+	fmt.Fprintln(&buf, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
 	latPair := func(c, q *LatencyStats) (string, string) {
 		lat := PickLatency(c, q)
 		if lat == nil {
@@ -359,15 +375,16 @@ func (c *Comparison) MarshalMarkdown() ([]byte, error) {
 		}
 		return fmt.Sprintf("%.0f", lat.P50Ns), fmt.Sprintf("%.0f", lat.P99Ns)
 	}
-	row := func(label, phase string, warm bool, ops int, nsPerOp, opsPerSec float64, cl, ql, cc, qc *LatencyStats, fair float64, d Delta) {
+	row := func(label, phase string, warm bool, ops int, nsPerOp, opsPerSec float64, cl, ql, cc, qc *LatencyStats, fair, allocs float64, peak int64, d Delta) {
 		if warm {
 			phase += "\\*"
 		}
 		p50, p99 := latPair(cl, ql)
 		cp50, cp99 := latPair(cc, qc)
-		fmt.Fprintf(&buf, "| %s | %s | %d | %.1f | %.2f | %s | %s | %s | %s | %.2f | %s | %s | %s |\n",
+		fmt.Fprintf(&buf, "| %s | %s | %d | %.1f | %.2f | %s | %s | %s | %s | %.2f | %.2f | %s | %s | %s | %s | %s |\n",
 			label, phase, ops, nsPerOp, opsPerSec/1e6, p50, p99, cp50, cp99, fair,
-			mdRatio(d.NsPerOpRatio), mdRatio(d.P99Ratio), mdRatio(d.ThroughputRatio))
+			allocs, mdBytes(peak),
+			mdRatio(d.NsPerOpRatio), mdRatio(d.P99Ratio), mdRatio(d.ThroughputRatio), mdRatio(d.AllocsRatio))
 	}
 	for i := range c.Results {
 		r := &c.Results[i]
@@ -377,13 +394,16 @@ func (c *Comparison) MarshalMarkdown() ([]byte, error) {
 		}
 		for j := range r.Metrics.Phases {
 			p := &r.Metrics.Phases[j]
-			row(label, p.Name, p.Warmup, p.Ops, p.NsPerOp(), p.OpsPerSec(), p.CounterLat, p.QueueLat, p.CounterCorr, p.QueueCorr, p.Fairness, r.PhaseDeltas[j])
+			row(label, p.Name, p.Warmup, p.Ops, p.NsPerOp(), p.OpsPerSec(), p.CounterLat, p.QueueLat, p.CounterCorr, p.QueueCorr, p.Fairness, p.AllocsPerOp, p.LivePeakBytes, r.PhaseDeltas[j])
 		}
 		a := &r.Metrics.Aggregate
-		row(label, "**aggregate**", false, a.Ops, a.NsPerOp(), a.OpsPerSec(), a.CounterLat, a.QueueLat, a.CounterCorr, a.QueueCorr, a.Fairness, r.AggregateDelta)
+		row(label, "**aggregate**", false, a.Ops, a.NsPerOp(), a.OpsPerSec(), a.CounterLat, a.QueueLat, a.CounterCorr, a.QueueCorr, a.Fairness, a.AllocsPerOp, a.LivePeakBytes, r.AggregateDelta)
 	}
-	fmt.Fprintln(&buf, "\nΔ columns are ratios against the baseline's same phase (Δns/op and Δp99 below 1 are"+
-		" faster, Δtput above 1 is higher throughput); \\* marks warmup phases, excluded from the aggregate."+
+	fmt.Fprintln(&buf, "\nΔ columns are ratios against the baseline's same phase (Δns/op, Δp99 and Δalloc below 1"+
+		" are better for this entry, Δtput above 1 is higher throughput); \\* marks warmup phases, excluded from the"+
+		" aggregate. allocs/op is heap allocations per operation over the whole phase (workers preallocate before the"+
+		" start barrier, so steady phases of allocation-free structures report 0.00 and Δalloc is omitted as –);"+
+		" live peak is the highest sampled live-heap size while the phase ran."+
 		" corr p50/p99 are coordinated-omission-corrected quantiles (completion against the intended start of"+
 		" the arrival schedule), recorded under open-loop arrivals and async pipelining — '–' for plain closed"+
 		" loops, where they would equal the service-time quantiles."+
@@ -424,6 +444,22 @@ func mdRatio(v float64) string {
 		return "–"
 	}
 	return fmt.Sprintf("%.2f×", v)
+}
+
+// mdBytes renders a byte count human-readably for the Markdown table.
+func mdBytes(b int64) string {
+	switch {
+	case b <= 0:
+		return "–"
+	case b < 1<<10:
+		return fmt.Sprintf("%dB", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	}
 }
 
 // orDash substitutes "steady (no scenario)" for an empty scenario spec.

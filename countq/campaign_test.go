@@ -224,6 +224,89 @@ func TestComparisonExports(t *testing.T) {
 	}
 }
 
+// TestCampaignMemoryMetricsRoundTrip pins memory as a first-class
+// campaign metric: allocs/op, alloc bytes/op and the live-heap timeline
+// populate every structure's metrics, survive the JSON round trip, and
+// land in their CSV and Markdown columns.
+func TestCampaignMemoryMetricsRoundTrip(t *testing.T) {
+	registerTestImpls()
+	cmp, err := Campaign{
+		Base:    Workload{Goroutines: 2, Ops: 4000, Seed: 1},
+		Entries: []Entry{{Counter: "test-alpha"}, {Counter: "test-batch"}},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cmp.Results {
+		r := &cmp.Results[i]
+		a := &r.Metrics.Aggregate
+		if a.AllocsPerOp < 0 || a.AllocBytesPerOp < 0 {
+			t.Errorf("%s: negative memory metrics: %v allocs/op, %v B/op", r.Label, a.AllocsPerOp, a.AllocBytesPerOp)
+		}
+		if a.LivePeakBytes <= 0 {
+			t.Errorf("%s: live peak %d, want > 0 (a live Go heap is never empty)", r.Label, a.LivePeakBytes)
+		}
+		if len(a.MemTimeline) == 0 {
+			t.Errorf("%s: empty live-heap timeline", r.Label)
+		}
+		for _, win := range a.MemTimeline {
+			if win.PeakBytes <= 0 || win.EndNs <= win.StartNs {
+				t.Errorf("%s: malformed mem window %+v", r.Label, win)
+			}
+		}
+	}
+	// JSON round trip: the memory fields survive marshal → unmarshal.
+	data, err := json.Marshal(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Comparison
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	a, b := &cmp.Results[0].Metrics.Aggregate, &back.Results[0].Metrics.Aggregate
+	if a.AllocsPerOp != b.AllocsPerOp || a.LivePeakBytes != b.LivePeakBytes || len(a.MemTimeline) != len(b.MemTimeline) {
+		t.Errorf("memory metrics changed across the JSON round trip: %v/%d/%d vs %v/%d/%d",
+			a.AllocsPerOp, a.LivePeakBytes, len(a.MemTimeline), b.AllocsPerOp, b.LivePeakBytes, len(b.MemTimeline))
+	}
+	// CSV: the memory columns exist and every aggregate row fills them.
+	out, err := cmp.MarshalCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	for _, name := range []string{"allocs_per_op", "alloc_bytes_per_op", "live_peak_bytes", "allocs_ratio", "live_peak_ratio"} {
+		if _, ok := col[name]; !ok {
+			t.Fatalf("CSV header missing %q: %v", name, rows[0])
+		}
+	}
+	for _, row := range rows[1:] {
+		if row[1] != "aggregate" {
+			continue
+		}
+		if row[col["allocs_per_op"]] == "" || row[col["live_peak_bytes"]] == "" || row[col["live_peak_bytes"]] == "0" {
+			t.Errorf("aggregate row leaves memory cells empty: %v", row)
+		}
+	}
+	// Markdown: the memory columns render with the footnote explaining them.
+	md, err := cmp.MarshalMarkdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"allocs/op", "live peak", "Δalloc"} {
+		if !strings.Contains(string(md), want) {
+			t.Errorf("markdown missing %q in:\n%s", want, md)
+		}
+	}
+}
+
 // TestCampaignSharedSchedule pins the shared-seed guarantee the campaign
 // documents: the same entry run twice under the same campaign base
 // reproduces its per-phase op totals exactly.

@@ -47,7 +47,16 @@
 // and aggregate latency histograms with p50/p90/p99/p999/max per op kind,
 // a windowed throughput timeline, and per-worker op counts with the
 // fairness ratio they imply — because quiescently consistent counters
-// look fine on means and give themselves away in the tail.
+// look fine on means and give themselves away in the tail. Memory is a
+// metric of the same rank: every phase reports heap allocations and
+// bytes per operation (AllocsPerOp, AllocBytesPerOp) plus a live-heap
+// peak timeline (MemTimeline, LivePeakBytes) on the same 16-window clock
+// as the throughput timeline. The driver itself measures from outside
+// the allocator — workers preallocate their evidence logs and claim op
+// budget in chunks before the phase barrier, so the steady-state loops
+// run at zero allocations per op (gated by testing.AllocsPerRun in CI)
+// and the reported numbers belong to the structure under test, not to
+// the harness.
 //
 // Counters may additionally implement two capability interfaces the
 // driver exploits when present: HandleMaker (per-goroutine handles with an

@@ -33,9 +33,20 @@ func (w Window) OpsPerSec() float64 {
 	return float64(w.Ops) * 1e9 / float64(w.EndNs-w.StartNs)
 }
 
+// MemWindow is one slot of the live-heap timeline: the peak live heap
+// observed in [StartNs, EndNs), offsets relative to the start of the run.
+// Windows share the phase span (and slot count) with the throughput
+// timeline, so footprint and throughput line up window for window.
+type MemWindow struct {
+	StartNs   int64 `json:"start_ns"`
+	EndNs     int64 `json:"end_ns"`
+	PeakBytes int64 `json:"peak_bytes"`
+}
+
 // PhaseMetrics reports one phase of a run: the shape it ran under, exact
 // op totals, sampled latency distributions per kind, a windowed throughput
-// timeline, and per-worker op counts with the fairness ratio they imply.
+// timeline, memory footprint, and per-worker op counts with the fairness
+// ratio they imply.
 type PhaseMetrics struct {
 	Name       string        `json:"name"`
 	Warmup     bool          `json:"warmup,omitempty"`
@@ -62,6 +73,16 @@ type PhaseMetrics struct {
 	CounterCorr *LatencyStats `json:"counter_corrected,omitempty"`
 	QueueCorr   *LatencyStats `json:"queue_corrected,omitempty"`
 	Timeline    []Window      `json:"timeline,omitempty"`
+	// AllocsPerOp and AllocBytesPerOp are the process-wide heap allocation
+	// deltas across the phase, divided by its op count — the footprint the
+	// structure (plus the allocation-free measurement path around it) costs
+	// per operation. Always emitted, because 0 is the interesting value.
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
+	// MemTimeline is the live-heap timeline sampled during the phase, folded
+	// into the same windows as Timeline; LivePeakBytes is its maximum.
+	MemTimeline   []MemWindow `json:"mem_timeline,omitempty"`
+	LivePeakBytes int64       `json:"live_peak_bytes,omitempty"`
 	// WorkerOps is how many operations each worker completed. The op
 	// budget is a shared pool, so a worker the structure starves shows up
 	// here instead of being hidden by a preassigned per-worker quota.
@@ -104,7 +125,14 @@ type Aggregate struct {
 	CounterCorr *LatencyStats `json:"counter_corrected,omitempty"`
 	QueueCorr   *LatencyStats `json:"queue_corrected,omitempty"`
 	Timeline    []Window      `json:"timeline,omitempty"`
-	Fairness    float64       `json:"fairness"`
+	// AllocsPerOp and AllocBytesPerOp are the op-weighted means over the
+	// measured phases; MemTimeline concatenates the per-phase live-heap
+	// windows and LivePeakBytes is the peak across them.
+	AllocsPerOp     float64     `json:"allocs_per_op"`
+	AllocBytesPerOp float64     `json:"alloc_bytes_per_op"`
+	MemTimeline     []MemWindow `json:"mem_timeline,omitempty"`
+	LivePeakBytes   int64       `json:"live_peak_bytes,omitempty"`
+	Fairness        float64     `json:"fairness"`
 }
 
 // NsPerOp reports average wall nanoseconds per measured operation.

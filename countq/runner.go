@@ -203,6 +203,7 @@ func runPhases(base Workload, scenarioSpec string, phases []Phase, cs, qs Struct
 	}
 	var all laneData
 	var aggHists phaseHists
+	var totalAllocs, totalAllocBytes float64
 	agg := Aggregate{Fairness: 1}
 	runStart := time.Now()
 	for pi := range phases {
@@ -223,6 +224,12 @@ func runPhases(base Workload, scenarioSpec string, phases []Phase, cs, qs Struct
 		agg.QueueOps += pm.QueueOps
 		agg.Elapsed += pm.Elapsed
 		agg.Timeline = append(agg.Timeline, pm.Timeline...)
+		agg.MemTimeline = append(agg.MemTimeline, pm.MemTimeline...)
+		if pm.LivePeakBytes > agg.LivePeakBytes {
+			agg.LivePeakBytes = pm.LivePeakBytes
+		}
+		totalAllocs += pm.AllocsPerOp * float64(pm.Ops)
+		totalAllocBytes += pm.AllocBytesPerOp * float64(pm.Ops)
 		if pm.Fairness < agg.Fairness {
 			agg.Fairness = pm.Fairness
 		}
@@ -233,6 +240,10 @@ func runPhases(base Workload, scenarioSpec string, phases []Phase, cs, qs Struct
 	agg.QueueLat = aggHists.q.Stats()
 	agg.CounterCorr = aggHists.ccorr.Stats()
 	agg.QueueCorr = aggHists.qcorr.Stats()
+	if agg.Ops > 0 {
+		agg.AllocsPerOp = totalAllocs / float64(agg.Ops)
+		agg.AllocBytesPerOp = totalAllocBytes / float64(agg.Ops)
+	}
 	m.Aggregate = agg
 
 	// Fail-loudly sampling invariant: operations of a kind without a single
@@ -278,6 +289,440 @@ func claimOps(pool *atomic.Int64, chunk int64) int64 {
 	}
 }
 
+// phaseDeadline amortizes a phase's duration budget: one timer flips the
+// flag when the wall budget expires, and every worker polls a single
+// uncontended atomic load per iteration — replacing the old idiom of each
+// worker re-reading the wall clock every 64 iterations, which appeared
+// verbatim in both the sync and async loops.
+type phaseDeadline struct {
+	expired atomic.Bool
+	timer   *time.Timer
+}
+
+func startDeadline(d time.Duration) *phaseDeadline {
+	pd := &phaseDeadline{}
+	pd.timer = time.AfterFunc(d, func() { pd.expired.Store(true) })
+	return pd
+}
+
+// done reports whether the budget expired. A nil deadline (an ops-budget
+// phase) never expires.
+func (pd *phaseDeadline) done() bool { return pd != nil && pd.expired.Load() }
+
+// stop releases the timer.
+func (pd *phaseDeadline) stop() {
+	if pd != nil {
+		pd.timer.Stop()
+	}
+}
+
+// grow returns s with room for at least n more elements, doubling capacity
+// so that reserving ahead of appends keeps the per-op append path free of
+// allocation inside a measured phase.
+func grow[T any](s []T, n int) []T {
+	if n <= cap(s)-len(s) {
+		return s
+	}
+	c := 2 * cap(s)
+	if c < len(s)+n {
+		c = len(s) + n
+	}
+	ns := make([]T, len(s), c)
+	copy(ns, s)
+	return ns
+}
+
+// lane is one worker's phase-local accumulation: validation evidence,
+// latency histograms, timeline events, and the op count feeding fairness.
+type lane struct {
+	laneData
+	hists  phaseHists
+	events []tlEvent
+	issued int64
+	err    error
+}
+
+// laneRunner is one worker's execution state for one phase. Everything it
+// allocates — evidence capacity, histograms, the rng — is set up before
+// the start barrier, and the per-op methods (issueSync, submitOne, reap)
+// are written to run at zero heap allocations; alloc_test.go gates them
+// with testing.AllocsPerRun.
+type laneRunner struct {
+	ln     *lane
+	p      *Phase
+	pi, gi int
+
+	csess Session
+	qsess Session
+	bsess BatchSession
+	cas   AsyncSession
+	qas   AsyncSession
+	cch   <-chan Completion
+	qch   <-chan Completion
+
+	ctx     context.Context
+	rng     *rand.Rand
+	batch   int
+	drawMix float64
+	sample  int
+	chunk   int64
+	open    bool
+	hasPool bool
+
+	pool *atomic.Int64
+	dl   *phaseDeadline
+
+	runStart   time.Time
+	phaseStart time.Time
+	// intended is the corrected-latency clock: it accumulates the arrival
+	// schedule's think times from the phase start, independent of how long
+	// service takes — when the structure falls behind, completion − intended
+	// grows by the backlog, which is exactly what coordinated omission hides.
+	intended time.Time
+	// mark is the most recent clock read. Under an open arrival it is
+	// refreshed after every pause and after every completed op, so it can
+	// double as the sampled op's t0 and keep service time out of intended —
+	// one clock read where the old loop took up to three.
+	mark time.Time
+
+	allowance   int64 // ops claimed from the pool, not yet issued
+	resLeft     int64 // reserved evidence capacity left (duration phases)
+	sinceEvent  int64 // unsampled ops since the last timeline event
+	burst       int
+	iter        int
+	outstanding int
+}
+
+// begin stamps the phase clocks once the start barrier opens.
+func (r *laneRunner) begin(phaseStart time.Time) {
+	r.phaseStart = phaseStart
+	r.intended = phaseStart
+	r.mark = phaseStart
+}
+
+// reserve grows the lane's evidence and event logs to absorb n more ops
+// without allocating on the per-op path. Called outside the measured
+// window at setup, then at pool-claim granularity, so steady state sees
+// appends into preexisting capacity only.
+func (r *laneRunner) reserve(n int64) {
+	ln := r.ln
+	if r.p.Mix > 0 {
+		if r.batch > 1 {
+			ln.blocks = grow(ln.blocks, int(n)/r.batch+1)
+		} else {
+			ln.counts = grow(ln.counts, int(n))
+		}
+	}
+	if r.p.Mix < 1 {
+		ln.ids = grow(ln.ids, int(n))
+		ln.preds = grow(ln.preds, int(n))
+	}
+	ln.events = grow(ln.events, int(n)/r.sample+2)
+}
+
+// claim secures budget for at least one more draw: a chunk from the shared
+// op pool, or — on a duration budget — a cheap check of the amortized
+// deadline flag plus evidence reservation in opsChunk strides. Returns
+// false when the phase's budget is exhausted.
+func (r *laneRunner) claim() bool {
+	if r.hasPool {
+		if r.allowance == 0 {
+			if r.allowance = claimOps(r.pool, r.chunk); r.allowance == 0 {
+				return false
+			}
+			r.reserve(r.allowance)
+		}
+		return true
+	}
+	if r.dl.done() {
+		return false
+	}
+	if r.resLeft <= 0 {
+		r.reserve(opsChunk)
+		r.resLeft = opsChunk
+	}
+	return true
+}
+
+// consume books n granted ops against the claimed allowance.
+func (r *laneRunner) consume(n int64) {
+	if r.hasPool {
+		r.allowance -= n
+	} else {
+		r.resLeft -= n
+	}
+}
+
+// arrive waits out one open-loop think time and advances the intended
+// clock. mark is the previous post-op (or post-pause) read, so the span
+// added to intended covers the pause but never service time.
+func (r *laneRunner) arrive() {
+	pause(r.p.Arrival, r.rng, &r.burst)
+	now := time.Now()
+	r.intended = r.intended.Add(now.Sub(r.mark))
+	r.mark = now
+}
+
+// t0 is the service-time start of a sampled synchronous op. Under an open
+// arrival the post-pause read taken moments ago already marks it, so the
+// sampled path costs one fresh clock read (t1) instead of three.
+func (r *laneRunner) t0() time.Time {
+	if r.open {
+		return r.mark
+	}
+	return time.Now()
+}
+
+// observe records one sampled op: histogram plus a timeline event that
+// reuses the op's completion timestamp instead of reading the clock again.
+func (r *laneRunner) observe(h *Histogram, totalNs, n int64, at time.Time) {
+	h.recordAmortized(totalNs, n)
+	r.ln.events = append(r.ln.events, tlEvent{off: at.Sub(r.runStart).Nanoseconds(), ops: r.sinceEvent + n})
+	r.sinceEvent = 0
+}
+
+// flush emits the trailing unsampled ops as a final timeline event.
+func (r *laneRunner) flush() {
+	if r.sinceEvent > 0 {
+		r.ln.events = append(r.ln.events, tlEvent{off: time.Since(r.runStart).Nanoseconds(), ops: r.sinceEvent})
+	}
+}
+
+// issueSync performs one synchronous draw — the gated zero-allocation hot
+// path — and returns how many operations it granted.
+func (r *laneRunner) issueSync() (int64, error) {
+	ln := r.ln
+	if r.p.Mix == 1 || (r.p.Mix > 0 && r.rng.Float64() < r.drawMix) {
+		if r.batch > 1 {
+			n := int64(r.batch)
+			if r.hasPool && n > r.allowance {
+				n = r.allowance
+			}
+			if len(ln.blocks)%r.sample == 0 {
+				t0 := r.t0()
+				first, err := r.bsess.IncN(r.ctx, n)
+				t1 := time.Now()
+				if err != nil {
+					return 0, err
+				}
+				ln.blocks = append(ln.blocks, CountRange{First: first, N: n})
+				r.observe(&ln.hists.c, t1.Sub(t0).Nanoseconds(), n, t1)
+				if r.open {
+					ln.hists.ccorr.RecordN(t1.Sub(r.intended).Nanoseconds(), n)
+					r.mark = t1
+				}
+				return n, nil
+			}
+			first, err := r.bsess.IncN(r.ctx, n)
+			if err != nil {
+				return 0, err
+			}
+			ln.blocks = append(ln.blocks, CountRange{First: first, N: n})
+			r.sinceEvent += n
+			if r.open {
+				r.mark = time.Now()
+			}
+			return n, nil
+		}
+		if len(ln.counts)%r.sample == 0 {
+			t0 := r.t0()
+			v, err := r.csess.Inc(r.ctx)
+			t1 := time.Now()
+			if err != nil {
+				return 0, err
+			}
+			ln.counts = append(ln.counts, v)
+			r.observe(&ln.hists.c, t1.Sub(t0).Nanoseconds(), 1, t1)
+			if r.open {
+				ln.hists.ccorr.Record(t1.Sub(r.intended).Nanoseconds())
+				r.mark = t1
+			}
+			return 1, nil
+		}
+		v, err := r.csess.Inc(r.ctx)
+		if err != nil {
+			return 0, err
+		}
+		ln.counts = append(ln.counts, v)
+		r.sinceEvent++
+		if r.open {
+			r.mark = time.Now()
+		}
+		return 1, nil
+	}
+	// 8 bits of phase, 15 of lane, 40 of draw index: distinct non-negative
+	// ids across the whole run.
+	id := int64(r.pi)<<55 | int64(r.gi)<<40 | int64(r.iter)
+	if len(ln.ids)%r.sample == 0 {
+		t0 := r.t0()
+		pr, err := r.qsess.Enqueue(r.ctx, id)
+		t1 := time.Now()
+		if err != nil {
+			return 0, err
+		}
+		ln.ids = append(ln.ids, id)
+		ln.preds = append(ln.preds, pr)
+		r.observe(&ln.hists.q, t1.Sub(t0).Nanoseconds(), 1, t1)
+		if r.open {
+			ln.hists.qcorr.Record(t1.Sub(r.intended).Nanoseconds())
+			r.mark = t1
+		}
+		return 1, nil
+	}
+	pr, err := r.qsess.Enqueue(r.ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	ln.ids = append(ln.ids, id)
+	ln.preds = append(ln.preds, pr)
+	r.sinceEvent++
+	if r.open {
+		r.mark = time.Now()
+	}
+	return 1, nil
+}
+
+// runSync drives the synchronous loop: one call-and-return per draw.
+// acquire/release bracket each draw under the fairshare rotation and are
+// nil otherwise.
+func (r *laneRunner) runSync(acquire, release func()) {
+	for r.iter = 0; ; r.iter++ {
+		if !r.claim() {
+			break
+		}
+		if r.open {
+			r.arrive()
+		}
+		if acquire != nil {
+			acquire()
+		}
+		granted, err := r.issueSync()
+		if release != nil {
+			release()
+		}
+		if err != nil {
+			r.ln.err = err
+			return
+		}
+		r.ln.issued += granted
+		r.consume(granted)
+	}
+}
+
+// submitOne issues one draw on the async pipeline; false means the budget
+// is exhausted and nothing was submitted. Op values travel by value into
+// the session's preallocated rings, so the submit path allocates nothing.
+func (r *laneRunner) submitOne() (bool, error) {
+	if !r.claim() {
+		return false, nil
+	}
+	var now time.Time
+	if r.open {
+		r.arrive()
+		now = r.mark
+	} else {
+		now = time.Now()
+	}
+	op := Op{Token: uint64(r.iter), Start: now, Submitted: now}
+	if r.open {
+		op.Start = r.intended
+	}
+	n := int64(1)
+	if r.p.Mix == 1 || (r.p.Mix > 0 && r.rng.Float64() < r.drawMix) {
+		op.Kind, op.N = OpInc, 1
+		if r.batch > 1 {
+			n = int64(r.batch)
+			if r.hasPool && n > r.allowance {
+				n = r.allowance
+			}
+			op.N = n
+		}
+		if err := r.cas.Submit(r.ctx, op); err != nil {
+			return false, err
+		}
+	} else {
+		op.Kind = OpEnqueue
+		// 8 bits of phase, 15 of lane, 40 of draw index: distinct
+		// non-negative ids across the whole run.
+		op.ID = int64(r.pi)<<55 | int64(r.gi)<<40 | int64(r.iter)
+		if err := r.qas.Submit(r.ctx, op); err != nil {
+			return false, err
+		}
+	}
+	r.iter++
+	r.outstanding++
+	r.consume(n)
+	return true, nil
+}
+
+// reap folds one completion into the lane's evidence and histograms.
+func (r *laneRunner) reap(c Completion) {
+	ln := r.ln
+	now := time.Now()
+	switch {
+	case c.Op.Kind == OpInc && c.Op.N > 1:
+		ln.blocks = append(ln.blocks, CountRange{First: c.Value, N: c.Op.N})
+		if len(ln.blocks)%r.sample == 1 || r.sample == 1 {
+			r.observe(&ln.hists.c, now.Sub(c.Op.Submitted).Nanoseconds(), c.Op.N, now)
+			ln.hists.ccorr.RecordN(now.Sub(c.Op.Start).Nanoseconds(), c.Op.N)
+		} else {
+			r.sinceEvent += c.Op.N
+		}
+		ln.issued += c.Op.N
+	case c.Op.Kind == OpInc:
+		ln.counts = append(ln.counts, c.Value)
+		if len(ln.counts)%r.sample == 1 || r.sample == 1 {
+			r.observe(&ln.hists.c, now.Sub(c.Op.Submitted).Nanoseconds(), 1, now)
+			ln.hists.ccorr.Record(now.Sub(c.Op.Start).Nanoseconds())
+		} else {
+			r.sinceEvent++
+		}
+		ln.issued++
+	default:
+		ln.ids = append(ln.ids, c.Op.ID)
+		ln.preds = append(ln.preds, c.Value)
+		if len(ln.ids)%r.sample == 1 || r.sample == 1 {
+			r.observe(&ln.hists.q, now.Sub(c.Op.Submitted).Nanoseconds(), 1, now)
+			ln.hists.qcorr.Record(now.Sub(c.Op.Start).Nanoseconds())
+		} else {
+			r.sinceEvent++
+		}
+		ln.issued++
+	}
+	r.outstanding--
+}
+
+// runAsync drives the pipelined loop: keep Inflight ops outstanding,
+// reaping completions as they arrive.
+func (r *laneRunner) runAsync() {
+	budgetDone := false
+	for {
+		for !budgetDone && r.outstanding < r.p.Inflight {
+			ok, err := r.submitOne()
+			if err != nil {
+				r.ln.err = err
+				return
+			}
+			if !ok {
+				budgetDone = true
+			}
+		}
+		if r.outstanding == 0 {
+			break // budget exhausted, pipeline drained
+		}
+		var c Completion
+		select {
+		case c = <-r.cch:
+		case c = <-r.qch:
+		}
+		if c.Err != nil {
+			r.ln.err = c.Err
+			return
+		}
+		r.reap(c)
+	}
+}
+
 // runPhase spawns the phase's workers against the shared structures and
 // folds their lanes into one PhaseMetrics plus the validation evidence and
 // per-kind histograms (returned separately so the caller can merge them
@@ -286,13 +731,6 @@ func claimOps(pool *atomic.Int64, chunk int64) int64 {
 // through it — synchronously, or as an Inflight-deep pipeline of
 // Submit/Completions when the phase asks for one.
 func runPhase(cs, qs Structure, base Workload, pi int, p Phase, runStart time.Time) (PhaseMetrics, laneData, *phaseHists, error) {
-	type lane struct {
-		laneData
-		hists  phaseHists
-		events []tlEvent
-		issued int64
-		err    error
-	}
 	batch := p.Batch
 	if p.Mix == 0 {
 		batch = 0
@@ -321,14 +759,22 @@ func runPhase(cs, qs Structure, base Workload, pi int, p Phase, runStart time.Ti
 	if p.Arrival == Fairshare {
 		fairDone = make([]atomic.Bool, p.Goroutines)
 	}
+	// Per-lane initial evidence reservation: the balanced share of an ops
+	// budget, or one claim stride under a duration budget. Claims during the
+	// phase top this up, so steady state appends never allocate.
+	share := int64(opsChunk)
+	if hasPool {
+		share = int64(p.Ops)/int64(p.Goroutines) + opsChunk
+	}
 	// Workers rendezvous on a start barrier so spawn latency (and session
-	// setup) is neither measured nor lets early workers drain the shared
-	// pool before late ones exist (which would read as unfairness the
-	// structure didn't cause).
+	// setup, rng construction, evidence preallocation) is neither measured
+	// nor lets early workers drain the shared pool before late ones exist
+	// (which would read as unfairness the structure didn't cause).
 	var ready, wg sync.WaitGroup
 	start := make(chan struct{})
 	var phaseStart time.Time
-	var deadline time.Time
+	var dl *phaseDeadline
+	probe := newMemProbe()
 	ctx := context.Background()
 	for gi := 0; gi < p.Goroutines; gi++ {
 		ready.Add(1)
@@ -359,316 +805,103 @@ func runPhase(cs, qs Structure, base Workload, pi int, p Phase, runStart time.Ti
 					}
 				}
 			}()
-			var bsess BatchSession
+			r := &laneRunner{
+				ln:       ln,
+				p:        &p,
+				pi:       pi,
+				gi:       gi,
+				csess:    csess,
+				qsess:    qsess,
+				ctx:      ctx,
+				batch:    batch,
+				drawMix:  drawMix,
+				sample:   p.LatencySample,
+				chunk:    chunk,
+				open:     p.Arrival == Uniform || p.Arrival == Bursty,
+				hasPool:  hasPool,
+				pool:     &pool,
+				runStart: runStart,
+			}
 			if ln.err == nil && batch > 1 {
 				b, ok := csess.(BatchSession)
 				if !ok {
 					ln.err = fmt.Errorf("countq: phase %q: counter %q declares CapBatch but its session is not a BatchSession", p.Name, base.Counter)
 				}
-				bsess = b
+				r.bsess = b
+			}
+			if ln.err == nil && p.Inflight > 1 {
+				if csess != nil && p.Mix > 0 {
+					a, ok := csess.(AsyncSession)
+					if !ok {
+						ln.err = fmt.Errorf("countq: phase %q: counter %q declares CapAsync but its session is not an AsyncSession", p.Name, base.Counter)
+					} else {
+						r.cas, r.cch = a, a.Completions()
+					}
+				}
+				if ln.err == nil && qsess != nil && p.Mix < 1 {
+					a, ok := qsess.(AsyncSession)
+					if !ok {
+						ln.err = fmt.Errorf("countq: phase %q: queue %q declares CapAsync but its session is not an AsyncSession", p.Name, base.Queue)
+					} else {
+						r.qas, r.qch = a, a.Completions()
+					}
+				}
+			}
+			var acquire, release func()
+			if p.Arrival == Fairshare {
+				acquire = func() {
+					g := int64(p.Goroutines)
+					for {
+						t := turn.Load()
+						owner := int(t % g)
+						if owner == gi {
+							return
+						}
+						if fairDone[owner].Load() {
+							turn.CompareAndSwap(t, t+1)
+							continue
+						}
+						runtime.Gosched()
+					}
+				}
+				release = func() { turn.Add(1) }
+			}
+			if ln.err == nil {
+				r.rng = rand.New(rand.NewSource(base.Seed + int64(pi)*104729 + int64(gi)*7919))
+				r.reserve(share)
 			}
 			ready.Done()
 			<-start
 			if ln.err != nil {
 				return
 			}
-
-			rng := rand.New(rand.NewSource(base.Seed + int64(pi)*104729 + int64(gi)*7919))
-			sample := p.LatencySample
-			var sinceEvent int64 // unsampled ops since the last timeline event
-			observe := func(h *Histogram, totalNs, n int64, at time.Time) {
-				h.recordAmortized(totalNs, n)
-				ln.events = append(ln.events, tlEvent{off: at.Sub(runStart).Nanoseconds(), ops: sinceEvent + n})
-				sinceEvent = 0
-			}
-			open := p.Arrival == Uniform || p.Arrival == Bursty
-			fair := p.Arrival == Fairshare
-			// The corrected-latency clock: intended starts accumulate the
-			// arrival schedule's think times from the phase start,
-			// independent of how long service takes — when the structure
-			// falls behind, completion − intended grows by the backlog,
-			// which is exactly the quantity coordinated omission hides.
-			intended := phaseStart
-			fairAcquire := func() {
-				g := int64(p.Goroutines)
-				for {
-					t := turn.Load()
-					owner := int(t % g)
-					if owner == gi {
-						return
-					}
-					if fairDone[owner].Load() {
-						turn.CompareAndSwap(t, t+1)
-						continue
-					}
-					runtime.Gosched()
-				}
-			}
-			allowance := int64(0) // ops claimed from the pool, not yet issued
-			burst := 0
-
+			r.dl = dl
+			r.begin(phaseStart)
 			if p.Inflight > 1 {
-				// --- Asynchronous path: keep Inflight ops outstanding. ---
-				var cas, qas AsyncSession
-				if csess != nil && p.Mix > 0 {
-					a, ok := csess.(AsyncSession)
-					if !ok {
-						ln.err = fmt.Errorf("countq: phase %q: counter %q declares CapAsync but its session is not an AsyncSession", p.Name, base.Counter)
-						return
-					}
-					cas = a
-				}
-				if qsess != nil && p.Mix < 1 {
-					a, ok := qsess.(AsyncSession)
-					if !ok {
-						ln.err = fmt.Errorf("countq: phase %q: queue %q declares CapAsync but its session is not an AsyncSession", p.Name, base.Queue)
-						return
-					}
-					qas = a
-				}
-				var cch, qch <-chan Completion
-				if cas != nil {
-					cch = cas.Completions()
-				}
-				if qas != nil {
-					qch = qas.Completions()
-				}
-				outstanding, iter, budgetDone := 0, 0, false
-				// submitOne issues one draw on the pipeline; false means
-				// the budget is exhausted and nothing was submitted.
-				submitOne := func() (bool, error) {
-					if hasPool {
-						if allowance == 0 {
-							if allowance = claimOps(&pool, chunk); allowance == 0 {
-								return false, nil
-							}
-						}
-					} else if iter%64 == 0 && !time.Now().Before(deadline) {
-						return false, nil
-					}
-					if open {
-						t0 := time.Now()
-						pause(p.Arrival, rng, &burst)
-						intended = intended.Add(time.Since(t0))
-					}
-					now := time.Now()
-					op := Op{Token: uint64(iter), Start: now, Submitted: now}
-					if open {
-						op.Start = intended
-					}
-					n := int64(1)
-					if p.Mix == 1 || (p.Mix > 0 && rng.Float64() < drawMix) {
-						op.Kind, op.N = OpInc, 1
-						if batch > 1 {
-							n = int64(batch)
-							if hasPool && n > allowance {
-								n = allowance
-							}
-							op.N = n
-						}
-						if err := cas.Submit(ctx, op); err != nil {
-							return false, err
-						}
-					} else {
-						op.Kind = OpEnqueue
-						// 8 bits of phase, 15 of lane, 40 of draw index:
-						// distinct non-negative ids across the whole run.
-						op.ID = int64(pi)<<55 | int64(gi)<<40 | int64(iter)
-						if err := qas.Submit(ctx, op); err != nil {
-							return false, err
-						}
-					}
-					iter++
-					outstanding++
-					if hasPool {
-						allowance -= n
-					}
-					return true, nil
-				}
-				for {
-					for !budgetDone && outstanding < p.Inflight {
-						ok, err := submitOne()
-						if err != nil {
-							ln.err = err
-							return
-						}
-						if !ok {
-							budgetDone = true
-						}
-					}
-					if outstanding == 0 {
-						break // budget exhausted, pipeline drained
-					}
-					var c Completion
-					select {
-					case c = <-cch:
-					case c = <-qch:
-					}
-					if c.Err != nil {
-						ln.err = c.Err
-						return
-					}
-					now := time.Now()
-					switch {
-					case c.Op.Kind == OpInc && c.Op.N > 1:
-						if len(ln.blocks)%sample == 0 {
-							ln.blocks = append(ln.blocks, CountRange{First: c.Value, N: c.Op.N})
-							observe(&ln.hists.c, now.Sub(c.Op.Submitted).Nanoseconds(), c.Op.N, now)
-							ln.hists.ccorr.RecordN(now.Sub(c.Op.Start).Nanoseconds(), c.Op.N)
-						} else {
-							ln.blocks = append(ln.blocks, CountRange{First: c.Value, N: c.Op.N})
-							sinceEvent += c.Op.N
-						}
-						ln.issued += c.Op.N
-					case c.Op.Kind == OpInc:
-						if len(ln.counts)%sample == 0 {
-							ln.counts = append(ln.counts, c.Value)
-							observe(&ln.hists.c, now.Sub(c.Op.Submitted).Nanoseconds(), 1, now)
-							ln.hists.ccorr.Record(now.Sub(c.Op.Start).Nanoseconds())
-						} else {
-							ln.counts = append(ln.counts, c.Value)
-							sinceEvent++
-						}
-						ln.issued++
-					default:
-						if len(ln.ids)%sample == 0 {
-							ln.ids = append(ln.ids, c.Op.ID)
-							ln.preds = append(ln.preds, c.Value)
-							observe(&ln.hists.q, now.Sub(c.Op.Submitted).Nanoseconds(), 1, now)
-							ln.hists.qcorr.Record(now.Sub(c.Op.Start).Nanoseconds())
-						} else {
-							ln.ids = append(ln.ids, c.Op.ID)
-							ln.preds = append(ln.preds, c.Value)
-							sinceEvent++
-						}
-						ln.issued++
-					}
-					outstanding--
-				}
+				r.runAsync()
 			} else {
-				// --- Synchronous path: one call-and-return per draw. ---
-				issueOne := func(iter int) (int64, error) {
-					if p.Mix == 1 || (p.Mix > 0 && rng.Float64() < drawMix) {
-						if batch > 1 {
-							n := int64(batch)
-							if hasPool && n > allowance {
-								n = allowance
-							}
-							if len(ln.blocks)%sample == 0 {
-								t0 := time.Now()
-								first, err := bsess.IncN(ctx, n)
-								t1 := time.Now()
-								if err != nil {
-									return 0, err
-								}
-								ln.blocks = append(ln.blocks, CountRange{First: first, N: n})
-								observe(&ln.hists.c, t1.Sub(t0).Nanoseconds(), n, t1)
-								if open {
-									ln.hists.ccorr.RecordN(t1.Sub(intended).Nanoseconds(), n)
-								}
-							} else {
-								first, err := bsess.IncN(ctx, n)
-								if err != nil {
-									return 0, err
-								}
-								ln.blocks = append(ln.blocks, CountRange{First: first, N: n})
-								sinceEvent += n
-							}
-							return n, nil
-						}
-						if len(ln.counts)%sample == 0 {
-							t0 := time.Now()
-							v, err := csess.Inc(ctx)
-							t1 := time.Now()
-							if err != nil {
-								return 0, err
-							}
-							ln.counts = append(ln.counts, v)
-							observe(&ln.hists.c, t1.Sub(t0).Nanoseconds(), 1, t1)
-							if open {
-								ln.hists.ccorr.Record(t1.Sub(intended).Nanoseconds())
-							}
-						} else {
-							v, err := csess.Inc(ctx)
-							if err != nil {
-								return 0, err
-							}
-							ln.counts = append(ln.counts, v)
-							sinceEvent++
-						}
-						return 1, nil
-					}
-					// 8 bits of phase, 15 of lane, 40 of draw index:
-					// distinct non-negative ids across the whole run.
-					id := int64(pi)<<55 | int64(gi)<<40 | int64(iter)
-					if len(ln.ids)%sample == 0 {
-						t0 := time.Now()
-						pr, err := qsess.Enqueue(ctx, id)
-						t1 := time.Now()
-						if err != nil {
-							return 0, err
-						}
-						ln.ids = append(ln.ids, id)
-						ln.preds = append(ln.preds, pr)
-						observe(&ln.hists.q, t1.Sub(t0).Nanoseconds(), 1, t1)
-						if open {
-							ln.hists.qcorr.Record(t1.Sub(intended).Nanoseconds())
-						}
-					} else {
-						pr, err := qsess.Enqueue(ctx, id)
-						if err != nil {
-							return 0, err
-						}
-						ln.ids = append(ln.ids, id)
-						ln.preds = append(ln.preds, pr)
-						sinceEvent++
-					}
-					return 1, nil
-				}
-				for iter := 0; ; iter++ {
-					if hasPool {
-						if allowance == 0 {
-							if allowance = claimOps(&pool, chunk); allowance == 0 {
-								break
-							}
-						}
-					} else if iter%64 == 0 && !time.Now().Before(deadline) {
-						break
-					}
-					if open {
-						t0 := time.Now()
-						pause(p.Arrival, rng, &burst)
-						intended = intended.Add(time.Since(t0))
-					}
-					if fair {
-						fairAcquire()
-					}
-					granted, err := issueOne(iter)
-					if fair {
-						turn.Add(1)
-					}
-					if err != nil {
-						ln.err = err
-						return
-					}
-					ln.issued += granted
-					if hasPool {
-						allowance -= granted
-					}
-				}
+				r.runSync(acquire, release)
 			}
-			if sinceEvent > 0 {
-				ln.events = append(ln.events, tlEvent{off: time.Since(runStart).Nanoseconds(), ops: sinceEvent})
-			}
+			r.flush()
 		}(gi)
 	}
 	ready.Wait()
 	phaseStart = time.Now()
-	deadline = phaseStart.Add(p.Duration) // workers observe this via the start barrier
+	if p.Duration > 0 {
+		dl = startDeadline(p.Duration) // workers observe this via the start barrier
+	}
 	startNs := phaseStart.Sub(runStart).Nanoseconds()
+	// The phase's memory accounting brackets exactly the measured window:
+	// the sampler (and its buffers) exist before the baseline read, and
+	// worker setup allocations all happened before the barrier.
+	sampler := startMemSampler(phaseStart)
+	allocs0, bytes0, _ := probe.read()
 	close(start)
 	wg.Wait()
 	elapsed := time.Since(phaseStart)
+	allocs1, bytes1, _ := probe.read()
+	memTl := sampler.stop(startNs, elapsed.Nanoseconds())
+	dl.stop()
 
 	var data laneData
 	var hists phaseHists
@@ -688,6 +921,11 @@ func runPhase(cs, qs Structure, base Workload, pi int, p Phase, runStart time.Ti
 		counterOps += int(b.N)
 	}
 	queueOps := len(data.ids)
+	var allocsPerOp, allocBytesPerOp float64
+	if ops := counterOps + queueOps; ops > 0 {
+		allocsPerOp = float64(allocs1-allocs0) / float64(ops)
+		allocBytesPerOp = float64(bytes1-bytes0) / float64(ops)
+	}
 	pm := PhaseMetrics{
 		Name:        p.Name,
 		Warmup:      p.Warmup,
@@ -708,6 +946,11 @@ func runPhase(cs, qs Structure, base Workload, pi int, p Phase, runStart time.Ti
 		Timeline:    buildTimeline(events, startNs, elapsed.Nanoseconds()),
 		WorkerOps:   workers,
 		Fairness:    fairness(workers),
+
+		AllocsPerOp:     allocsPerOp,
+		AllocBytesPerOp: allocBytesPerOp,
+		MemTimeline:     memTl,
+		LivePeakBytes:   peakMem(memTl),
 	}
 	return pm, data, &hists, nil
 }

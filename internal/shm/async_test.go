@@ -1,0 +1,248 @@
+package shm
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/countq"
+)
+
+// The adversarial half of the native-async coverage: the conformance suite
+// in countq exercises the session contract generically; these tests hammer
+// the combining engine's own invariants — gap-free counts and a single
+// total order — under deliberately nasty mixes of sync calls, deep
+// pipelines, block grants and session churn, and run under -race in CI.
+
+// TestAsyncFunnelAdversarial floods the funnel from many sessions, each
+// interleaving pipelined Submits, sync Incs and IncN blocks, then checks
+// the handed-out counts plus block grants tile 1..max exactly.
+func TestAsyncFunnelAdversarial(t *testing.T) {
+	st, err := countq.NewStructure("async-funnel?pipeline=16", countq.KindCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, rounds = 8, 200
+	ctx := context.Background()
+	var mu sync.Mutex
+	var counts []int64
+	var blocks []countq.CountRange
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess, err := st.NewSession()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sess.Close()
+			as := sess.(countq.AsyncSession)
+			bs := sess.(countq.BatchSession)
+			var myCounts []int64
+			var myBlocks []countq.CountRange
+			outstanding := 0
+			reap := func(min int) {
+				for outstanding > min {
+					c := <-as.Completions()
+					if c.Err != nil {
+						t.Error(c.Err)
+						return
+					}
+					if c.Op.N > 1 {
+						myBlocks = append(myBlocks, countq.CountRange{First: c.Value, N: c.Op.N})
+					} else {
+						myCounts = append(myCounts, c.Value)
+					}
+					outstanding--
+				}
+			}
+			for i := 0; i < rounds; i++ {
+				switch i % 4 {
+				case 0, 1: // pipelined singles
+					if err := as.Submit(ctx, countq.Op{Kind: countq.OpInc, N: 1}); err != nil {
+						t.Error(err)
+						return
+					}
+					outstanding++
+					reap(8) // keep up to 8 in flight
+				case 2: // sync ops through the same session
+					if i%8 == 2 { // sync block grant via the batch surface
+						first, err := bs.IncN(ctx, 2)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						myBlocks = append(myBlocks, countq.CountRange{First: first, N: 2})
+						continue
+					}
+					v, err := sess.Inc(ctx)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					myCounts = append(myCounts, v)
+				case 3: // pipelined block grant
+					if err := as.Submit(ctx, countq.Op{Kind: countq.OpInc, N: 3}); err != nil {
+						t.Error(err)
+						return
+					}
+					outstanding++
+				}
+			}
+			reap(0)
+			mu.Lock()
+			counts = append(counts, myCounts...)
+			blocks = append(blocks, myBlocks...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if err := countq.ValidateCountRanges(counts, blocks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestElimQueueAdversarialOrder floods the elimination queue from many
+// sessions mixing pipelined and sync enqueues, then validates that the
+// predecessor reports form one total order over every id — the property a
+// mis-linked combined batch (or a double-swapped tail) would break.
+func TestElimQueueAdversarialOrder(t *testing.T) {
+	st, err := countq.NewStructure("elim?pipeline=8&spin=4", countq.KindQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, rounds = 8, 200
+	ctx := context.Background()
+	var mu sync.Mutex
+	var ids, preds []int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess, err := st.NewSession()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sess.Close()
+			as := sess.(countq.AsyncSession)
+			var myIDs, myPreds []int64
+			outstanding := 0
+			reap := func(min int) {
+				for outstanding > min {
+					c := <-as.Completions()
+					if c.Err != nil {
+						t.Error(c.Err)
+						return
+					}
+					myIDs = append(myIDs, c.Op.ID)
+					myPreds = append(myPreds, c.Value)
+					outstanding--
+				}
+			}
+			for i := 0; i < rounds; i++ {
+				id := int64(w*rounds + i)
+				if i%3 == 2 {
+					pr, err := sess.Enqueue(ctx, id)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					myIDs = append(myIDs, id)
+					myPreds = append(myPreds, pr)
+					continue
+				}
+				if err := as.Submit(ctx, countq.Op{Kind: countq.OpEnqueue, ID: id}); err != nil {
+					t.Error(err)
+					return
+				}
+				outstanding++
+				reap(4)
+			}
+			reap(0)
+			mu.Lock()
+			ids = append(ids, myIDs...)
+			preds = append(preds, myPreds...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if err := countq.ValidateOrder(ids, preds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCombinePipelineBound pins the Submit contract: the pipeline rejects
+// rather than blocks when full, and frees as completions are reaped.
+func TestCombinePipelineBound(t *testing.T) {
+	st, err := countq.NewStructure("async-funnel?pipeline=4&spin=1000000", countq.KindCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := st.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	as := sess.(countq.AsyncSession)
+	ctx := context.Background()
+	// With a huge spin the single-threaded submitter parks ops without
+	// combining (pending never reaches 0 while ours waits)… except the
+	// back-off loop yields, so on one P the combiner may still be us.
+	// Either way, accepted + completed must stay within the bound.
+	accepted := 0
+	for i := 0; i < 64 && accepted < 16; i++ {
+		if err := as.Submit(ctx, countq.Op{Kind: countq.OpInc, N: 1}); err != nil {
+			break
+		}
+		accepted++
+	}
+	for i := 0; i < accepted; i++ {
+		c := <-as.Completions()
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+	}
+	// The pipeline must be fully usable again after draining.
+	for i := 0; i < 4; i++ {
+		if err := as.Submit(ctx, countq.Op{Kind: countq.OpInc, N: 1}); err != nil {
+			t.Fatalf("submit %d after drain: %v", i, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		<-as.Completions()
+	}
+}
+
+// TestCombineKindGating pins the wrong-kind error contract on both the
+// sync and submit surfaces of the native structures.
+func TestCombineKindGating(t *testing.T) {
+	ctx := context.Background()
+	cs, err := countq.NewStructure("async-funnel", countq.KindCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csess, _ := cs.NewSession()
+	defer csess.Close()
+	if _, err := csess.Enqueue(ctx, 1); err == nil {
+		t.Error("Enqueue on async-funnel succeeded")
+	}
+	if err := csess.(countq.AsyncSession).Submit(ctx, countq.Op{Kind: countq.OpEnqueue, ID: 1}); err == nil {
+		t.Error("Submit(enqueue) on async-funnel succeeded")
+	}
+	qs, err := countq.NewStructure("elim", countq.KindQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsess, _ := qs.NewSession()
+	defer qsess.Close()
+	if _, err := qsess.Inc(ctx); err == nil {
+		t.Error("Inc on elim succeeded")
+	}
+	if err := qsess.(countq.AsyncSession).Submit(ctx, countq.Op{Kind: countq.OpInc, N: 1}); err == nil {
+		t.Error("Submit(inc) on elim succeeded")
+	}
+}

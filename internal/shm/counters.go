@@ -10,6 +10,16 @@
 // swap (the "distributed swap" of Herlihy, Tirthapura and Wattenhofer),
 // with no validation, no retry and no multi-location coordination.
 //
+// Two structures implement the session API's async capability natively
+// rather than through the driver's adapter: "async-funnel", a combining
+// counter whose flat-combining engine batches submitted increments and
+// completes them on a shared channel, and "elim", an elimination/back-off
+// queue whose enqueues either combine with a concurrent partner or fall
+// back to the swap path. Both declare CapAsync and accept pipeline=
+// (completion-ring depth) and spin= (combiner back-off) parameters; under
+// open arrivals they show what native pipelining buys on corrected tail
+// latency.
+//
 // Every implementation registers itself with the public repro/countq
 // registry on import (see register.go), so importing this package for its
 // side effects makes the whole zoo constructible by name via

@@ -34,9 +34,18 @@ type diffNode struct {
 }
 
 // NewDiffractingCounter builds a diffracting tree with the given number of
-// leaves (a power of two ≥ 1). spin controls how long a token waits for a
-// diffraction partner before falling back to the toggle (0 uses a default).
+// leaves (a power of two ≥ 1; 0 defaults to the next power of two ≥
+// GOMAXPROCS, sizing the stripe count to the machine's real parallelism
+// the way the sharded counter sizes its shard array). spin controls how
+// long a token waits for a diffraction partner before falling back to the
+// toggle (0 uses a default).
 func NewDiffractingCounter(leaves, spin int) (*DiffractingCounter, error) {
+	if leaves == 0 {
+		leaves = 1
+		for leaves < runtime.GOMAXPROCS(0) {
+			leaves <<= 1
+		}
+	}
 	if leaves < 1 || leaves&(leaves-1) != 0 {
 		return nil, fmt.Errorf("shm: diffracting tree needs a power-of-two leaf count, got %d", leaves)
 	}

@@ -1,6 +1,7 @@
 package shm
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -22,10 +23,30 @@ func TestDiffractingSequential(t *testing.T) {
 }
 
 func TestDiffractingRejectsBadWidth(t *testing.T) {
-	for _, leaves := range []int{0, 3, 12, -2} {
+	for _, leaves := range []int{3, 12, -2} {
 		if _, err := NewDiffractingCounter(leaves, 0); err == nil {
 			t.Errorf("leaf count %d accepted", leaves)
 		}
+	}
+}
+
+// TestDiffractingDefaultLeaves pins the constructor default: like the
+// sharded counter's shard array, the tree sizes itself from GOMAXPROCS —
+// rounded up to the power of two the balancer tree needs. (The registry
+// shim still rejects an explicit leaves=0 spec; 0 is the constructor's
+// "use the default" sentinel, not a spec value.)
+func TestDiffractingDefaultLeaves(t *testing.T) {
+	d, err := NewDiffractingCounter(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1
+	for want < runtime.GOMAXPROCS(0) {
+		want <<= 1
+	}
+	if d.Width() != want {
+		t.Errorf("default leaves = %d, want %d (GOMAXPROCS=%d rounded up to a power of two)",
+			d.Width(), want, runtime.GOMAXPROCS(0))
 	}
 }
 

@@ -27,6 +27,7 @@ type FunnelCounter struct {
 	layers  [][]funnelSlot
 	spin    int
 	entropy sync.Pool // per-P randomness for slot choice
+	ops     sync.Pool // recycled funnelOps: steady-state Inc allocates nothing
 }
 
 type funnelSlot struct {
@@ -76,12 +77,17 @@ func NewFunnelCounter(width, depth, spin int) (*FunnelCounter, error) {
 	f.entropy.New = func() interface{} {
 		return rand.New(rand.NewSource(funnelSeed.Add(1)))
 	}
+	f.ops.New = func() interface{} {
+		return &funnelOp{got: make(chan int64, 1)}
+	}
 	return f, nil
 }
 
 // Inc implements Counter.
 func (f *FunnelCounter) Inc() int64 {
-	op := &funnelOp{count: 1, got: make(chan int64, 1)}
+	op := f.ops.Get().(*funnelOp)
+	op.count = 1
+	op.children = op.children[:0]
 	rng := f.entropy.Get().(*rand.Rand)
 	for l := range f.layers {
 		layer := f.layers[l]
@@ -101,7 +107,7 @@ func (f *FunnelCounter) Inc() int64 {
 			select {
 			case base := <-op.got:
 				f.entropy.Put(rng)
-				return op.deliver(base)
+				return f.finish(op, base)
 			default:
 				runtime.Gosched()
 			}
@@ -117,12 +123,22 @@ func (f *FunnelCounter) Inc() int64 {
 		// A captor removed us between the spin and the lock; its batch
 		// will deliver our range.
 		f.entropy.Put(rng)
-		return op.deliver(<-op.got)
+		return f.finish(op, <-op.got)
 	}
 	f.entropy.Put(rng)
 	// Reached the bottom as a carrier: apply the whole batch at once.
 	base := f.v.Add(op.count) - op.count
-	return op.deliver(base)
+	return f.finish(op, base)
+}
+
+// finish distributes the batch's range and recycles the operation record.
+// The op is safe to recycle here: a captor stops touching a child the
+// moment it has sent the child's base (see deliver), and a carrier's own
+// op was withdrawn from every slot it parked in.
+func (f *FunnelCounter) finish(op *funnelOp, base int64) int64 {
+	v := op.deliver(base)
+	f.ops.Put(op)
+	return v
 }
 
 // deliver hands the half-open count range (base, base+op.count] to the
@@ -130,8 +146,11 @@ func (f *FunnelCounter) Inc() int64 {
 func (op *funnelOp) deliver(base int64) int64 {
 	cur := base + 1 // op takes the first count itself
 	for _, ch := range op.children {
+		// Read the child's count BEFORE handing it its base: the moment the
+		// send lands, the child's owner may finish and recycle ch.
+		n := ch.count
 		ch.got <- cur
-		cur += ch.count
+		cur += n
 	}
 	return base + 1
 }

@@ -14,11 +14,13 @@ import (
 // variants; every variant names a live structure), so the recorded perf
 // surface can't silently narrow back to defaults when the zoo changes.
 var variantSpecs = map[string][]string{
-	"combining":   {"combining?pending=16", "combining?pending=4096"},
-	"funnel":      {"funnel?width=4&depth=3&spin=8", "funnel?width=8&depth=3"},
-	"network":     {"network?width=4", "network?width=16"},
-	"diffracting": {"diffracting?leaves=4&spin=4", "diffracting?leaves=16"},
-	"sharded":     {"sharded?shards=2&batch=8", "sharded?shards=16&batch=256"},
+	"combining":    {"combining?pending=16", "combining?pending=4096"},
+	"funnel":       {"funnel?width=4&depth=3&spin=8", "funnel?width=8&depth=3"},
+	"network":      {"network?width=4", "network?width=16"},
+	"diffracting":  {"diffracting?leaves=4&spin=4", "diffracting?leaves=16"},
+	"sharded":      {"sharded?shards=2&batch=8", "sharded?shards=16&batch=256"},
+	"async-funnel": {"async-funnel?pipeline=8", "async-funnel?spin=64"},
+	"elim":         {"elim?pipeline=8&spin=16", "elim?pipeline=1024"},
 }
 
 // VariantSpecs returns the canonical non-default spec strings for each
@@ -126,11 +128,11 @@ func init() {
 		Summary:      "diffracting tree: paired tokens bypass the toggles",
 		Linearizable: false,
 		Params: []countq.ParamInfo{
-			{Name: "leaves", Default: "8", Doc: "leaf count (a power of two); each leaf owns a counter stripe"},
+			{Name: "leaves", Default: "pow2 ≥ GOMAXPROCS", Doc: "leaf count (a power of two); each leaf owns a counter stripe"},
 			{Name: "spin", Default: "16", Doc: "how long a token waits at a prism for a diffraction partner"},
 		},
 		New: func(o countq.Options) (countq.Counter, error) {
-			leaves := o.Int("leaves", 8)
+			leaves := o.Int("leaves", 0)
 			spin := o.Int("spin", 0)
 			if err := requireAtLeast1(&o, "leaves", "spin"); err != nil {
 				return nil, err

@@ -55,6 +55,36 @@ func TestRegistryRoundTrip(t *testing.T) {
 		}
 		counterNames[info.Name] = true // registered queue names are live too
 	}
+	// This package's native session structures (no legacy Counter/Queuer
+	// view) go through the same defaults + canonical-variants sweep, driven
+	// by spec. Listed explicitly: the registry also holds structures from
+	// other packages (the sim bridge) that own their variant sets elsewhere.
+	shmNative := map[string]bool{"async-funnel": true, "elim": true}
+	for _, info := range countq.Structures() {
+		if counterNames[info.Name] || !shmNative[info.Name] {
+			continue // legacy-covered, or not this package's structure
+		}
+		counterNames[info.Name] = true
+		w := countq.Workload{Goroutines: 4, Ops: 2000, Seed: 1}
+		specs := append([]string{info.Name}, variants[info.Name]...)
+		if len(info.Params) > 0 && len(variants[info.Name]) == 0 {
+			t.Errorf("%s declares params but has no variant in VariantSpecs", info.Name)
+		}
+		for _, spec := range specs {
+			w := w
+			if info.Kinds.Has(countq.KindCounter) {
+				w.Counter = spec
+			} else {
+				w.Queue = spec
+			}
+			res, err := countq.Run(w)
+			if err != nil {
+				t.Errorf("%s: %v", spec, err)
+			} else if res.Aggregate.Ops != 2000 {
+				t.Errorf("%s: %d ops", spec, res.Aggregate.Ops)
+			}
+		}
+	}
 	// The other direction: a renamed or removed structure must not leave a
 	// stale variant entry behind (it would silently vanish from every
 	// sweep that looks variants up by registry name).
@@ -78,6 +108,16 @@ func TestRegistryRejectsExplicitZeroParams(t *testing.T) {
 	} {
 		if _, err := countq.NewCounter(spec); err == nil {
 			t.Errorf("%s accepted (would silently run at the default)", spec)
+		}
+	}
+	// Native structures have no legacy view; reject nonsense via the
+	// structure constructor (spin=0 is a real value for them, not a
+	// default sentinel, so only genuinely invalid settings appear here).
+	for _, spec := range []string{
+		"async-funnel?pipeline=0", "async-funnel?spin=-1", "elim?pipeline=0",
+	} {
+		if _, err := countq.NewStructure(spec, 0); err == nil {
+			t.Errorf("%s accepted (invalid combining parameters)", spec)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package shm
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -273,5 +274,18 @@ func TestFunnelCounterLinearizable(t *testing.T) {
 	spans := RecordSpans(c, 8, 300)
 	if err := CheckLinearizable(spans); err != nil {
 		t.Errorf("funnel counter: %v", err)
+	}
+}
+
+// TestShardedDefaultShards pins the constructor default: the shard array
+// sizes itself from GOMAXPROCS at construction (the `shards` param still
+// overrides), so the per-P affinity scheme has one shard per P to land on.
+func TestShardedDefaultShards(t *testing.T) {
+	c, err := NewShardedCounter(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Shards(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("default shard count = %d, want GOMAXPROCS = %d", got, want)
 	}
 }
