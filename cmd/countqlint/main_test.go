@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestList prints every analyzer with its doc.
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(out.String(), a.Name+": ") {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+// TestCleanPackage exits 0 with empty output on a package that holds every
+// invariant — this very command.
+func TestCleanPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"."}, &out, &errb); code != 0 {
+		t.Fatalf("exited %d on a clean package: %s%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput emits a well-formed (possibly empty) findings array.
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "."}, &out, &errb); code != 0 {
+		t.Fatalf("exited %d: %s", code, errb.String())
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a findings array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("expected no findings, got %d", len(findings))
+	}
+}
+
+// TestUnknownAnalyzer is a usage error, distinct from lint failure.
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "nope", "."}, &out, &errb); code != 2 {
+		t.Fatalf("expected exit 2 for unknown analyzer, got %d", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr missing explanation: %s", errb.String())
+	}
+}
+
+// TestLoadFailure surfaces unloadable patterns as exit 2.
+func TestLoadFailure(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./does-not-exist"}, &out, &errb); code != 2 {
+		t.Fatalf("expected exit 2 for a bad pattern, got %d", code)
+	}
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicFieldAnalyzer enforces the repo's two atomics invariants:
+//
+//  1. A struct field accessed through sync/atomic's function API anywhere
+//     in the package must be accessed atomically everywhere — one plain
+//     read racing one atomic write is still a data race, and -race only
+//     catches it when the schedule cooperates. Composite-literal
+//     initialization is exempt (the struct is not yet shared).
+//
+//  2. A value whose type (transitively, through struct fields and arrays)
+//     contains a sync or sync/atomic state type must not travel by value:
+//     no value receivers, parameters, or results. This is stronger than
+//     vet's copylocks, which keys on Lock/Unlock method sets and so has
+//     nothing to say about a struct embedding atomic.Int64 once the
+//     noCopy sentinel is shed by an intermediate type.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc: "struct fields accessed via sync/atomic must be accessed atomically everywhere " +
+		"(composite-literal init exempt), and types containing sync/atomic state must not " +
+		"be passed, returned, or received by value",
+	Run: runAtomicField,
+}
+
+// atomicFns is the sync/atomic function API: a field whose address feeds
+// any of these is an atomic field.
+func isAtomicFn(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicField(pass *Pass) error {
+	atomicUse := collectAtomicFields(pass)
+	if len(atomicUse) > 0 {
+		reportPlainAccesses(pass, atomicUse)
+	}
+	reportByValueTraffic(pass)
+	return nil
+}
+
+// collectAtomicFields finds every struct field whose address is passed to
+// a sync/atomic function, mapping the field object to one representative
+// atomic call site.
+func collectAtomicFields(pass *Pass) map[*types.Var]token.Pos {
+	out := make(map[*types.Var]token.Pos)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !isAtomicFn(fn.Name()) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if v := addressedField(pass.Info, call.Args[0]); v != nil {
+				if _, seen := out[v]; !seen {
+					out[v] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// addressedField resolves &x.f to the struct field f, or nil.
+func addressedField(info *types.Info, e ast.Expr) *types.Var {
+	u, ok := unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// reportPlainAccesses flags every use of an atomic field that is not the
+// &x.f argument of a sync/atomic call and not a composite-literal key.
+func reportPlainAccesses(pass *Pass, atomicUse map[*types.Var]token.Pos) {
+	info := pass.Info
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, _ := s.Obj().(*types.Var)
+			atomicPos, tracked := atomicUse[v]
+			if !tracked {
+				return true
+			}
+			if isAtomicArg(info, sel, stack) {
+				return true
+			}
+			ap := pass.Fset.Position(atomicPos)
+			pass.Reportf(sel.Pos(), "field %s is accessed via sync/atomic (e.g. %s:%d) but read or written directly here; mixed access races",
+				v.Name(), ap.Filename, ap.Line)
+			return true
+		})
+	}
+}
+
+// isAtomicArg reports whether the selector's enclosing &-expression is an
+// argument of a sync/atomic call: parent is &sel, grandparent the call.
+func isAtomicArg(info *types.Info, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	u, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return false
+	}
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			fn := calleeFunc(info, p)
+			return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && isAtomicFn(fn.Name())
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// reportByValueTraffic flags value receivers, parameters, and results
+// whose type transitively contains sync/atomic state.
+func reportByValueTraffic(pass *Pass) {
+	check := func(fname string, role string, field *ast.Field) {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			return
+		}
+		if leaf := syncStateIn(t, make(map[types.Type]bool)); leaf != "" {
+			pass.Reportf(field.Pos(), "%s: %s of type %s travels by value but contains %s; pass a pointer (copies desynchronize the state)",
+				fname, role, t, leaf)
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil {
+				for _, field := range fd.Recv.List {
+					check(name, "receiver", field)
+				}
+			}
+			if fd.Type.Params != nil {
+				for _, field := range fd.Type.Params.List {
+					check(name, "parameter", field)
+				}
+			}
+			if fd.Type.Results != nil {
+				for _, field := range fd.Type.Results.List {
+					check(name, "result", field)
+				}
+			}
+		}
+	}
+}
+
+// syncStateIn reports the sync/sync-atomic state type a value of type t
+// would copy, or "". Pointers, channels, maps, slices, funcs and
+// interfaces are references — traversal stops there; structs and arrays
+// are traversed.
+func syncStateIn(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			path := pkg.Path()
+			if (path == "sync" || path == "sync/atomic") && !types.IsInterface(t) {
+				return path + "." + named.Obj().Name()
+			}
+		}
+		return syncStateIn(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if leaf := syncStateIn(u.Field(i).Type(), seen); leaf != "" {
+				return leaf
+			}
+		}
+	case *types.Array:
+		return syncStateIn(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestAtomicFieldBad proves mixed atomic/plain access is caught — the
+// data race vet has no checker for — along with sync state passed,
+// returned, or received by value.
+func TestAtomicFieldBad(t *testing.T) {
+	linttest.Run(t, "testdata/atomicfield/bad", lint.AtomicFieldAnalyzer)
+}
+
+// TestAtomicFieldGood proves the exemptions: composite-literal
+// initialization before sharing, typed atomic wrappers, pointer traffic,
+// and sync-free structs traveling by value.
+func TestAtomicFieldGood(t *testing.T) {
+	linttest.Run(t, "testdata/atomicfield/good", lint.AtomicFieldAnalyzer)
+}

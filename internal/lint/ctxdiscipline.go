@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxDisciplineAnalyzer enforces the session API's cancellation contract:
+//
+//  1. An exported method that accepts a context.Context and contains a
+//     blocking construct (channel send/receive, select with no default,
+//     WaitGroup/Cond Wait, time.Sleep) must consult the context — a
+//     Submit or Inc that can park forever on a full channel while holding
+//     a cancelled context strands the campaign driver's shutdown path.
+//
+//  2. A channel obtained from a Completions() method must never be closed
+//     by the consumer: completion channels are closed producer-side when
+//     the session drains (see countq.AsyncSession), and a consumer-side
+//     close makes every in-flight producer send panic.
+var CtxDisciplineAnalyzer = &Analyzer{
+	Name: "ctxdiscipline",
+	Doc: "exported methods taking a context.Context must consult it before blocking " +
+		"(channel ops, bare selects, Waits, Sleeps), and channels obtained from " +
+		"Completions() must only be closed by the producer",
+	Run: runCtxDiscipline,
+}
+
+func runCtxDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if ctxObj, pos := contextParam(pass.Info, fd); pos.IsValid() {
+				checkCtxConsulted(pass, fd, ctxObj)
+			}
+		}
+		checkCompletionsClose(pass, f)
+	}
+	return nil
+}
+
+// contextParam finds the method's context.Context parameter object (nil
+// for a blank "_" name) and its position; an invalid position means the
+// method takes no context.
+func contextParam(info *types.Info, fd *ast.FuncDecl) (types.Object, token.Pos) {
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		if len(field.Names) == 0 || field.Names[0].Name == "_" {
+			return nil, field.Pos()
+		}
+		return info.Defs[field.Names[0]], field.Pos()
+	}
+	return nil, token.NoPos
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// checkCtxConsulted reports the first blocking construct in a method whose
+// context parameter is never referenced. Referencing the context anywhere
+// — a Done() select case, an Err() precheck, forwarding it downstream —
+// counts as consulting it; the analyzer draws the line at ignoring it
+// entirely while blocking.
+func checkCtxConsulted(pass *Pass, fd *ast.FuncDecl, ctxObj types.Object) {
+	if ctxObj != nil {
+		used := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == ctxObj {
+				used = true
+			}
+			return !used
+		})
+		if used {
+			return
+		}
+	}
+	name := fd.Name.Name
+	reported := false
+	report := func(pos token.Pos, what string) {
+		if reported {
+			return
+		}
+		reported = true
+		pass.Reportf(pos, "%s takes a context.Context it never consults but blocks on %s; a cancelled caller parks forever (select on ctx.Done() or check ctx.Err() first)", name, what)
+	}
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A closure's blocking belongs to whoever runs it (often a
+			// goroutine with its own lifecycle), not to this method.
+			return false
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				report(x.Pos(), "a select with no default")
+			}
+		case *ast.SendStmt:
+			if !insideNonblockingSelect(x, stack) {
+				report(x.Pos(), "a channel send")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !insideNonblockingSelect(x, stack) {
+				report(x.Pos(), "a channel receive")
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					report(x.Pos(), "a range over a channel")
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, x); fn != nil && fn.Pkg() != nil {
+				switch {
+				case fn.Pkg().Path() == "sync" && fn.Name() == "Wait":
+					report(x.Pos(), "sync."+recvTypeName(fn)+".Wait")
+				case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+					report(x.Pos(), "time.Sleep")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "?"
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// insideNonblockingSelect reports whether the send/receive is the comm
+// operation of a select case — the select's own blocking semantics (with
+// or without default) are judged at the SelectStmt, not per operation.
+func insideNonblockingSelect(n ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.CommClause:
+			return p.Comm != nil && containsNode(p.Comm, n)
+		case ast.Stmt:
+			if _, ok := p.(*ast.ExprStmt); ok {
+				continue // <-ch as a bare statement
+			}
+			if _, ok := p.(*ast.AssignStmt); ok {
+				continue // v := <-ch
+			}
+			return false
+		}
+	}
+	return false
+}
+
+func containsNode(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkCompletionsClose flags close(ch) where ch is (or was assigned from)
+// the result of a Completions() call.
+func checkCompletionsClose(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+			return true
+		}
+		if fromCompletions(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "closing a channel obtained from Completions(); completion channels are closed by the producing session, and a consumer-side close panics in-flight sends")
+		}
+		return true
+	})
+}
+
+// fromCompletions reports whether the expression is a Completions() call
+// or a variable whose single assignment is one.
+func fromCompletions(pass *Pass, e ast.Expr) bool {
+	if isCompletionsCall(pass.Info, e) {
+		return true
+	}
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := exprObj(pass.Info, id)
+	if obj == nil {
+		return false
+	}
+	from := false
+	assigns := 0
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch a := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range a.Lhs {
+					lid, ok := lhs.(*ast.Ident)
+					if !ok || (pass.Info.Defs[lid] != obj && pass.Info.Uses[lid] != obj) {
+						continue
+					}
+					assigns++
+					if i < len(a.Rhs) && isCompletionsCall(pass.Info, a.Rhs[i]) {
+						from = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range a.Names {
+					if pass.Info.Defs[name] != obj {
+						continue
+					}
+					assigns++
+					if i < len(a.Values) && isCompletionsCall(pass.Info, a.Values[i]) {
+						from = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return from && assigns == 1
+}
+
+func isCompletionsCall(info *types.Info, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == "Completions"
+}

@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestCtxDisciplineBad proves an exported method that takes a context and
+// blocks (sends, receives, bare selects, Waits, Sleeps, channel ranges)
+// without consulting it is caught, as is a consumer closing a channel it
+// obtained from Completions().
+func TestCtxDisciplineBad(t *testing.T) {
+	linttest.Run(t, "testdata/ctxdiscipline/bad", lint.CtxDisciplineAnalyzer)
+}
+
+// TestCtxDisciplineGood proves the real session shapes stay clean:
+// ctx.Done-guarded selects, Err prechecks, forwarded contexts, blocking
+// confined to owned goroutines, and producers closing their own channels.
+func TestCtxDisciplineGood(t *testing.T) {
+	linttest.Run(t, "testdata/ctxdiscipline/good", lint.CtxDisciplineAnalyzer)
+}

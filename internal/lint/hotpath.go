@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// The //countq:hotpath annotation contract: a function whose doc comment
+// carries the directive is a steady-state hot path — a laneRunner per-op
+// method, an shm Inc/Enqueue/Submit fast path, a combiner sweep — and must
+// stay free of heap-allocating constructs. The analyzer is the
+// compile-time twin of countq/alloc_test.go's AllocsPerRun gates: the
+// runtime gate proves one workload shape allocates nothing, the analyzer
+// proves no code path reintroduces an allocating construct at all.
+//
+// Banned inside an annotated function:
+//
+//   - closures (func literals capture by reference and escape)
+//   - defer (the deferred record escapes on the unmeasured path variants)
+//   - go statements (a goroutine launch allocates its stack)
+//   - make/new of any kind, and &T{...} composite-literal addresses
+//   - composite literals escaping into interface-typed contexts (boxing)
+//   - map iteration (range over a map allocates its iterator)
+//   - fmt.* calls, except feeding a return statement or a panic — the
+//     cold error paths
+//   - clock reads (time.Now / time.Since) beyond the annotated budget:
+//     `//countq:hotpath clocks=N` declares the audited number of call
+//     sites (default 1), so extra reads are flagged until re-audited
+//
+// Plain appends are allowed: the hot paths append into capacity reserved
+// by the (deliberately unannotated) amortized helpers reserve/grow.
+const hotPathDirective = "//countq:hotpath"
+
+// HotPathAnalyzer enforces the //countq:hotpath annotation contract.
+var HotPathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated //countq:hotpath must not contain heap-allocating constructs " +
+		"(closures, defer, make, interface-escaping composites, map ranges, non-cold fmt) " +
+		"or clock reads beyond the clocks=N budget",
+	Run: runHotPath,
+}
+
+// hotPathBudget parses the directive's arguments. ok is false when the
+// doc group carries no countq:hotpath directive.
+func hotPathBudget(doc *ast.CommentGroup) (clocks int, bad string, ok bool) {
+	if doc == nil {
+		return 0, "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text != hotPathDirective && !strings.HasPrefix(text, hotPathDirective+" ") {
+			continue
+		}
+		clocks = 1
+		for _, arg := range strings.Fields(strings.TrimPrefix(text, hotPathDirective)) {
+			val, found := strings.CutPrefix(arg, "clocks=")
+			if !found {
+				return 0, fmt.Sprintf("unknown //countq:hotpath argument %q (supported: clocks=N)", arg), true
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return 0, fmt.Sprintf("malformed //countq:hotpath clock budget %q (want clocks=N, N ≥ 0)", arg), true
+			}
+			clocks = n
+		}
+		return clocks, "", true
+	}
+	return 0, "", false
+}
+
+func runHotPath(pass *Pass) error {
+	// Directives attached to function declarations define hot paths; the
+	// same directive anywhere else is dead annotation and flagged, so a
+	// mis-placed comment cannot silently disable the gate.
+	attached := make(map[*ast.Comment]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			clocks, bad, ok := hotPathBudget(fd.Doc)
+			if !ok {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), hotPathDirective) {
+					attached[c] = true
+				}
+			}
+			if bad != "" {
+				pass.Reportf(fd.Pos(), "%s: %s", fd.Name.Name, bad)
+				continue
+			}
+			if fd.Body == nil {
+				pass.Reportf(fd.Pos(), "%s: //countq:hotpath on a bodyless declaration", fd.Name.Name)
+				continue
+			}
+			checkHotFunc(pass, fd, clocks)
+		}
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), hotPathDirective) && !attached[c] {
+					pass.Reportf(c.Pos(), "misplaced //countq:hotpath: the directive must be in a function's doc comment")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, clockBudget int) {
+	name := fd.Name.Name
+	info := pass.Info
+	clockSites := 0
+	// Walk the declaration (not just the body) so return statements see
+	// the enclosing FuncDecl on the stack when resolving result types.
+	walkStack(fd, func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "%s: closure in a //countq:hotpath function (func literals capture by reference and escape)", name)
+			return false
+		case *ast.DeferStmt:
+			pass.Reportf(x.Pos(), "%s: defer in a //countq:hotpath function (the deferred record allocates)", name)
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "%s: go statement in a //countq:hotpath function (a goroutine launch allocates)", name)
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(x.Pos(), "%s: map iteration in a //countq:hotpath function (the hidden iterator allocates)", name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(cl.Pos(), "%s: &composite literal in a //countq:hotpath function escapes to the heap", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if iface := interfaceContext(info, x, stack); iface != "" {
+				pass.Reportf(x.Pos(), "%s: composite literal escapes to interface %s in a //countq:hotpath function (boxing allocates)", name, iface)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, name, x, stack, clockBudget, &clockSites)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, name string, call *ast.CallExpr, stack []ast.Node, clockBudget int, clockSites *int) {
+	info := pass.Info
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				kind := "slice"
+				if len(call.Args) > 0 {
+					if t := info.TypeOf(call.Args[0]); t != nil {
+						switch t.Underlying().(type) {
+						case *types.Chan:
+							kind = "channel"
+						case *types.Map:
+							kind = "map"
+						}
+					}
+				}
+				pass.Reportf(call.Pos(), "%s: make(%s) in a //countq:hotpath function allocates", name, kind)
+			case "new":
+				pass.Reportf(call.Pos(), "%s: new(...) in a //countq:hotpath function allocates", name)
+			}
+			return
+		}
+	}
+	if isPkgFunc(info, call, "fmt", "") && !coldPath(stack) {
+		f := calleeFunc(info, call)
+		pass.Reportf(call.Pos(), "%s: fmt.%s outside a return/panic in a //countq:hotpath function (formatting allocates on the measured path)", name, f.Name())
+	}
+	if isPkgFunc(info, call, "time", "Now") || isPkgFunc(info, call, "time", "Since") {
+		*clockSites++
+		if *clockSites > clockBudget {
+			f := calleeFunc(info, call)
+			pass.Reportf(call.Pos(), "%s: time.%s call site %d exceeds the //countq:hotpath clock budget of %d (declare clocks=%d after auditing)",
+				name, f.Name(), *clockSites, clockBudget, *clockSites)
+		}
+	}
+}
+
+// coldPath reports whether the innermost statement context of the node at
+// the top of stack is a return statement or a panic call — the error
+// paths a hot function may format on, since taking them ends the
+// measured iteration anyway.
+func coldPath(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}
+
+// interfaceContext reports the interface type a composite literal is
+// assigned, passed or returned into, or "" when it stays concrete. Only
+// the literal's immediate use is inspected — the boxing site.
+func interfaceContext(info *types.Info, lit *ast.CompositeLit, stack []ast.Node) string {
+	if len(stack) == 0 {
+		return ""
+	}
+	parent := stack[len(stack)-1]
+	// &T{...} is reported separately; don't double-report the boxing.
+	if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return ""
+	}
+	litType := info.TypeOf(lit)
+	if litType == nil || types.IsInterface(litType) {
+		return ""
+	}
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		sig, ok := info.TypeOf(p.Fun).(*types.Signature)
+		if !ok {
+			return ""
+		}
+		for i, arg := range p.Args {
+			if arg != lit && unparen(arg) != lit {
+				continue
+			}
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= sig.Params().Len()-1:
+				last := sig.Params().At(sig.Params().Len() - 1).Type()
+				if sl, ok := last.(*types.Slice); ok {
+					pt = sl.Elem()
+				}
+			case i < sig.Params().Len():
+				pt = sig.Params().At(i).Type()
+			}
+			if pt != nil && types.IsInterface(pt) {
+				return pt.String()
+			}
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if unparen(rhs) != lit || i >= len(p.Lhs) {
+				continue
+			}
+			if lt := info.TypeOf(p.Lhs[i]); lt != nil && types.IsInterface(lt) {
+				return lt.String()
+			}
+		}
+	case *ast.ValueSpec:
+		for i, v := range p.Values {
+			if unparen(v) != lit || i >= len(p.Names) {
+				continue
+			}
+			if def := info.Defs[p.Names[i]]; def != nil && types.IsInterface(def.Type()) {
+				return def.Type().String()
+			}
+		}
+	case *ast.ReturnStmt:
+		sig := enclosingSignature(info, stack)
+		if sig == nil {
+			return ""
+		}
+		for i, res := range p.Results {
+			if unparen(res) != lit || i >= sig.Results().Len() {
+				continue
+			}
+			if rt := sig.Results().At(i).Type(); types.IsInterface(rt) {
+				return rt.String()
+			}
+		}
+	}
+	return ""
+}
+
+// enclosingSignature finds the signature of the innermost function
+// enclosing the node at the top of stack.
+func enclosingSignature(info *types.Info, stack []ast.Node) *types.Signature {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			sig, _ := info.TypeOf(f).(*types.Signature)
+			return sig
+		case *ast.FuncDecl:
+			if obj, ok := info.Defs[f.Name].(*types.Func); ok {
+				return obj.Type().(*types.Signature)
+			}
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// unparen strips any number of enclosing parentheses (ast.Unparen, inlined
+// here because the module's language version predates it).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// walkStack visits every node under root in depth-first order, handing fn
+// the chain of ancestors (outermost first, root's parent excluded). fn
+// returning false prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeFunc resolves the function or method a call invokes, when it is a
+// declared function (not a builtin, func value, or interface method whose
+// concrete target is unknown — those return nil).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the call invokes the named function (or any
+// function when name is "") of the package with the given import path.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	return name == "" || f.Name() == name
+}
+
+// constString extracts the compile-time string value of an expression,
+// reporting false for anything not constant-folded to a string.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// constInt extracts the compile-time integer value of an expression.
+func constInt(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}
+
+// exprObj resolves an expression to the object it names, unwrapping parens
+// and &x / *x so that `o`, `&o` and `*o` all land on o's object.
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if o := info.Uses[x]; o != nil {
+			return o
+		}
+		return info.Defs[x]
+	case *ast.UnaryExpr:
+		return exprObj(info, x.X)
+	case *ast.StarExpr:
+		return exprObj(info, x.X)
+	}
+	return nil
+}
+
+// funcDecls indexes a package's function declarations by their object, so
+// analyzers can follow same-package calls into the callee's body.
+func funcDecls(files []*ast.File, info *types.Info) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// resolveFuncLit resolves an expression to a function literal: the literal
+// itself, or — for an identifier — the single `x := func(...){...}` /
+// `var x = func(...){...}` assignment that defines it in the enclosing
+// file set. Reassigned identifiers resolve to nil.
+func resolveFuncLit(files []*ast.File, info *types.Info, e ast.Expr) *ast.FuncLit {
+	switch x := unparen(e).(type) {
+	case *ast.FuncLit:
+		return x
+	case *ast.Ident:
+		obj := exprObj(info, x)
+		if obj == nil {
+			return nil
+		}
+		var lit *ast.FuncLit
+		assigns := 0
+		for _, f := range files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch a := n.(type) {
+				case *ast.AssignStmt:
+					for i, lhs := range a.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok || (info.Defs[id] != obj && info.Uses[id] != obj) {
+							continue
+						}
+						assigns++
+						if i < len(a.Rhs) {
+							if fl, ok := unparen(a.Rhs[i]).(*ast.FuncLit); ok {
+								lit = fl
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for i, name := range a.Names {
+						if info.Defs[name] != obj {
+							continue
+						}
+						assigns++
+						if i < len(a.Values) {
+							if fl, ok := unparen(a.Values[i]).(*ast.FuncLit); ok {
+								lit = fl
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		if assigns == 1 {
+			return lit
+		}
+	}
+	return nil
+}
+
+// resolveComposite resolves an expression to the composite literal that
+// defines its value: the literal itself, or the single initialization of
+// the named variable it refers to.
+func resolveComposite(files []*ast.File, info *types.Info, e ast.Expr) *ast.CompositeLit {
+	switch x := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return x
+	case *ast.Ident:
+		obj := exprObj(info, x)
+		if obj == nil {
+			return nil
+		}
+		var lit *ast.CompositeLit
+		assigns := 0
+		for _, f := range files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch a := n.(type) {
+				case *ast.AssignStmt:
+					for i, lhs := range a.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok || (info.Defs[id] != obj && info.Uses[id] != obj) {
+							continue
+						}
+						assigns++
+						if i < len(a.Rhs) {
+							if cl, ok := unparen(a.Rhs[i]).(*ast.CompositeLit); ok {
+								lit = cl
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for i, name := range a.Names {
+						if info.Defs[name] != obj {
+							continue
+						}
+						assigns++
+						if i < len(a.Values) {
+							if cl, ok := unparen(a.Values[i]).(*ast.CompositeLit); ok {
+								lit = cl
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		if assigns == 1 {
+			return lit
+		}
+	}
+	return nil
+}
+
+// importedPkg finds an imported package by path, or nil.
+func importedPkg(pkg *types.Package, path string) *types.Package {
+	if pkg.Path() == path {
+		return pkg
+	}
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == path {
+			return imp
+		}
+	}
+	return nil
+}
+
+// scopeInterface looks an interface type up in a package scope.
+func scopeInterface(pkg *types.Package, name string) *types.Interface {
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// scopeConstInt looks an integer constant up in a package scope.
+func scopeConstInt(pkg *types.Package, name string) (int64, bool) {
+	if pkg == nil {
+		return 0, false
+	}
+	c, ok := pkg.Scope().Lookup(name).(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+	return v, exact
+}

@@ -1,0 +1,260 @@
+// Package linttest is the countqlint suite's analysistest: it typechecks
+// a fixture directory against the real module (so fixtures may import
+// repro/countq), runs one analyzer over it, and matches the diagnostics
+// against trailing `// want "regexp"` comments in both directions — a
+// missing diagnostic and an unexpected one both fail the test. It lives
+// beside internal/lint rather than inside it so the shipped analyzers
+// never link the testing package.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run loads the fixture package in dir, applies the analyzer, and
+// reconciles findings with the fixture's want-comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.File), f.Line)
+		matched := false
+		for i, re := range wants[key] {
+			if re != nil && re.MatchString(f.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, f.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			if re != nil {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, re)
+			}
+		}
+	}
+}
+
+// wantRE extracts the quoted regexps of a want comment; both Go string
+// forms are accepted (`// want "..."` and backtick-raw for patterns full
+// of escapes).
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants indexes the fixture's want-comments by "file:line".
+func collectWants(t *testing.T, pkg *lint.Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// A want clause usually is the whole comment, but may
+				// trail other directive text (`//countq:hotpath want "…"`)
+				// when the flagged line is the directive itself.
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				rest := c.Text[idx+len("want "):]
+				if !strings.HasPrefix(rest, `"`) && !strings.HasPrefix(rest, "`") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, q := range wantRE.FindAllString(rest, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loadFixture typechecks the fixture directory as one package, resolving
+// its imports (standard library and repro/... alike) from export data the
+// go tool produces at the module root — the same pipeline lint.Load uses
+// for real packages, pointed at a tree `go list ./...` ignores.
+func loadFixture(dir string) (*lint.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, name := range names {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+		for _, imp := range af.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path != "unsafe" {
+				imports[path] = true
+			}
+		}
+	}
+
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	var patterns []string
+	for path := range imports {
+		patterns = append(patterns, path)
+	}
+	sort.Strings(patterns)
+	exports := make(map[string]string)
+	if len(patterns) > 0 {
+		exports, err = exportData(root, patterns)
+		if err != nil {
+			return nil, err
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("linttest: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := unsafeAware{importer.ForCompiler(fset, "gc", lookup)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	path := "fixture/" + filepath.Base(dir)
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %s: %w", dir, err)
+	}
+	return &lint.Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// unsafeAware short-circuits "unsafe", which has no export data.
+type unsafeAware struct{ inner types.Importer }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.inner.Import(path)
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// exportData maps import paths to gc export-data files via
+// `go list -export -deps` at the module root.
+func exportData(root string, patterns []string) (map[string]string, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Export,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	type listPkg struct {
+		ImportPath string
+		Export     string
+		Incomplete bool
+		Error      *struct{ Err string }
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Incomplete || p.Error != nil {
+			msg := "unknown error"
+			if p.Error != nil {
+				msg = p.Error.Err
+			}
+			return nil, fmt.Errorf("package %s does not compile: %s", p.ImportPath, msg)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestRegistryParamsBad proves both drift directions (a read key Params
+// does not declare, a declared key never read) and both Caps directions (a
+// declared capability the sessions lack, an implemented capability the
+// declaration hides). The whole fixture compiles and passes vet — the
+// registry's contract is invisible to generic tooling.
+func TestRegistryParamsBad(t *testing.T) {
+	linttest.Run(t, "testdata/registryparams/bad", lint.RegistryParamsAnalyzer)
+}
+
+// TestRegistryParamsGood proves the resolution machinery follows the
+// tree's real idioms without false positives: Params via a shared
+// identifier, parsing delegated to a local closure, variadic key helpers,
+// and the kind-gate for capabilities the structure's kind cannot serve.
+func TestRegistryParamsGood(t *testing.T) {
+	linttest.Run(t, "testdata/registryparams/good", lint.RegistryParamsAnalyzer)
+}

@@ -1,0 +1,48 @@
+// Package bad seeds the atomics misuse the analyzer exists for: fields
+// that are atomic in one place and plain in another (a data race vet has
+// no checker for), and sync/atomic state smuggled across function
+// boundaries by value.
+package bad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	n     int64
+	hits  int64
+	inner guarded
+}
+
+type guarded struct {
+	mu  sync.Mutex
+	val atomic.Int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `field n is accessed via sync/atomic .* but read or written directly here`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `field hits is accessed via sync/atomic .* but read or written directly here`
+}
+
+// byValue copies the embedded mutex and atomic.Int64.
+func byValue(g guarded) int64 { // want `parameter of type .*guarded travels by value but contains sync\.Mutex`
+	return 0
+}
+
+// valueReceiver copies the whole counter, inner mutex included.
+func (c counter) valueReceiver() {} // want `receiver of type .*counter travels by value but contains sync\.Mutex`
+
+// returned copies the state out.
+func returned() guarded { // want `result of type .*guarded travels by value but contains sync\.Mutex`
+	var g guarded
+	return g
+}

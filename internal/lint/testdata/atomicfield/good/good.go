@@ -1,0 +1,48 @@
+// Package good mirrors the legitimate atomics idioms: composite-literal
+// initialization of an atomically-accessed field before the value is
+// shared, uniform atomic access everywhere else, typed atomic wrappers,
+// and sync state that always travels behind a pointer.
+package good
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	n    int64
+	gate atomic.Bool
+	mu   sync.Mutex
+}
+
+// newCounter initializes n in the literal — the value is not shared yet,
+// so the plain write is exempt.
+func newCounter(start int64) *counter {
+	return &counter{n: start}
+}
+
+func (c *counter) inc() int64 {
+	return atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) open() {
+	c.gate.Store(true) // typed wrapper: every access is atomic by construction
+}
+
+// byPointer moves the state behind a pointer, as it must.
+func byPointer(c *counter) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.read()
+}
+
+// plainStruct has no sync state and may travel by value freely.
+type plainStruct struct {
+	a, b int64
+}
+
+func plainByValue(p plainStruct) plainStruct { return p }

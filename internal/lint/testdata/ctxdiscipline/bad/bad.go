@@ -1,0 +1,71 @@
+// Package bad seeds the cancellation-contract violations: exported
+// methods that accept a context and then block without ever consulting
+// it, and a consumer closing a channel it obtained from Completions().
+package bad
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type session struct {
+	reqs chan int64
+	done chan int64
+	wg   sync.WaitGroup
+}
+
+// Inc ignores ctx entirely and parks on a full channel.
+func (s *session) Inc(ctx context.Context) (int64, error) {
+	s.reqs <- 1 // want "Inc takes a context.Context it never consults but blocks on a channel send"
+	return <-s.done, nil
+}
+
+// Drain ignores ctx and blocks on a bare select.
+func (s *session) Drain(ctx context.Context) {
+	select { // want "Drain takes a context.Context it never consults but blocks on a select with no default"
+	case <-s.done:
+	case <-s.reqs:
+	}
+}
+
+// Wait ignores ctx and blocks on the WaitGroup.
+func (s *session) Wait(ctx context.Context) {
+	s.wg.Wait() // want `Wait takes a context.Context it never consults but blocks on sync\.WaitGroup\.Wait`
+}
+
+// Sleep ignores ctx and stalls.
+func (s *session) Sleep(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want `blocks on time\.Sleep`
+}
+
+// Collect ignores ctx and ranges over a channel.
+func (s *session) Collect(ctx context.Context) int64 {
+	var total int64
+	for v := range s.done { // want "blocks on a range over a channel"
+		total += v
+	}
+	return total
+}
+
+// producer owns a completion stream.
+type producer struct {
+	out chan completion
+}
+
+type completion struct{ v int64 }
+
+func (p *producer) Completions() chan completion { return p.out }
+
+// consumeAndClose closes a channel it does not own: the producer closes
+// completion streams, never the consumer.
+func consumeAndClose(p *producer) {
+	ch := p.Completions()
+	for range ch {
+	}
+	close(ch) // want "closing a channel obtained from Completions"
+}
+
+func closeDirect(p *producer) {
+	close(p.Completions()) // want "closing a channel obtained from Completions"
+}

@@ -1,0 +1,97 @@
+// Package good mirrors the context discipline the session backends
+// actually use: selects guarded by ctx.Done(), Err prechecks before a
+// blocking fast path, contexts forwarded downstream, blocking confined to
+// internal goroutines with their own lifecycle, and producers closing
+// their own completion channels.
+package good
+
+import (
+	"context"
+	"sync"
+)
+
+type session struct {
+	reqs chan int64
+	done chan int64
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Inc blocks, but every arm races ctx.Done — the bridge-session shape.
+func (s *session) Inc(ctx context.Context) (int64, error) {
+	select {
+	case s.reqs <- 1:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	select {
+	case v := <-s.done:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// TryInc prechecks the context, then uses a non-blocking select.
+func (s *session) TryInc(ctx context.Context) (int64, bool) {
+	if ctx.Err() != nil {
+		return 0, false
+	}
+	select {
+	case s.reqs <- 1:
+		return <-s.done, true
+	default:
+		return 0, false
+	}
+}
+
+// Forward consults ctx by handing it to the callee.
+func (s *session) Forward(ctx context.Context) (int64, error) {
+	return s.Inc(ctx)
+}
+
+// Pump blocks inside a goroutine it owns; the goroutine's lifecycle is the
+// stop channel's, not the context's, so the method itself is clean.
+func (s *session) Pump(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case v := <-s.reqs:
+				s.done <- v + 1
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// unexported helpers may block without a context ceremony.
+func (s *session) drain() {
+	for range s.done {
+	}
+}
+
+// Close takes no context; its blocking wait is out of scope.
+func (s *session) Close() error {
+	close(s.stop)
+	s.wg.Wait()
+	return nil
+}
+
+type producer struct {
+	out chan int64
+}
+
+func (p *producer) Completions() chan int64 { return p.out }
+
+// shutdown is the producer side: closing its own field, not a channel
+// fetched through Completions(), is the contract.
+func (p *producer) shutdown() {
+	close(p.out)
+}

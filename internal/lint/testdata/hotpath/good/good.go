@@ -1,0 +1,67 @@
+// Package good mirrors the real hot-path idioms the analyzer must accept:
+// appends into capacity reserved by a deliberately-unannotated amortized
+// helper, fmt on the cold return/panic paths, an audited clock budget, and
+// allocation-heavy code in functions that simply are not annotated.
+package good
+
+import (
+	"fmt"
+	"time"
+)
+
+type lane struct {
+	buf []int
+}
+
+// reserve is the amortized slow path: unannotated on purpose, so it may
+// allocate freely — the same split countq's laneRunner uses.
+func (l *lane) reserve(n int) {
+	if cap(l.buf)-len(l.buf) < n {
+		grown := make([]int, len(l.buf), 2*cap(l.buf)+n)
+		copy(grown, l.buf)
+		l.buf = grown
+	}
+}
+
+//countq:hotpath
+func (l *lane) push(v int) error {
+	if cap(l.buf) == len(l.buf) {
+		return fmt.Errorf("lane full at %d", len(l.buf)) // cold path: feeds the return
+	}
+	l.buf = append(l.buf, v) // append into reserved capacity is fine
+	return nil
+}
+
+//countq:hotpath
+func (l *lane) at(i int) int {
+	if i >= len(l.buf) {
+		panic(fmt.Sprintf("index %d out of %d", i, len(l.buf))) // cold path: feeds a panic
+	}
+	return l.buf[i]
+}
+
+//countq:hotpath clocks=2
+func (l *lane) stamp() time.Duration {
+	begin := time.Now()
+	l.buf = append(l.buf, 0)
+	return time.Since(begin) // second clock site, declared by clocks=2
+}
+
+type point struct{ x, y int }
+
+//countq:hotpath
+func mid(a, b point) point {
+	p := point{x: (a.x + b.x) / 2, y: (a.y + b.y) / 2} // stays concrete: no boxing
+	return p
+}
+
+// unannotated code allocates however it likes.
+func batch(vs []int) func() []lane {
+	return func() []lane {
+		out := make([]lane, 0, len(vs))
+		for range vs {
+			out = append(out, lane{})
+		}
+		return out
+	}
+}

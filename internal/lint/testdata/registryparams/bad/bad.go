@@ -1,0 +1,73 @@
+// Package bad seeds registry declarations that drifted from their
+// constructors: params declared but never read, params read but never
+// declared, and Caps that promise sessions the structure does not return
+// (or hide ones it does). All of it typechecks and survives vet — only the
+// registry's runtime probe or a live campaign would ever notice.
+package bad
+
+import (
+	"context"
+
+	"repro/countq"
+)
+
+// plainStructure's sessions implement only the base Session — no IncN, no
+// Submit — yet the registration below declares CapBatch and CapAsync.
+type plainStructure struct{}
+
+func (plainStructure) NewSession() (countq.Session, error) { return plainSession{}, nil }
+
+type plainSession struct{}
+
+func (plainSession) Inc(ctx context.Context) (int64, error) { return 0, nil }
+func (plainSession) Enqueue(ctx context.Context, id int64) (int64, error) {
+	return 0, countq.ErrUnsupported
+}
+func (plainSession) Close() error { return nil }
+
+// richStructure's sessions implement BatchSession and AsyncSession, yet
+// the registration below declares neither capability.
+type richStructure struct{}
+
+func (richStructure) NewSession() (countq.Session, error) { return &richSession{}, nil }
+
+type richSession struct {
+	done chan countq.Completion
+}
+
+func (s *richSession) Inc(ctx context.Context) (int64, error) { return 0, nil }
+func (s *richSession) Enqueue(ctx context.Context, id int64) (int64, error) {
+	return 0, countq.ErrUnsupported
+}
+func (s *richSession) IncN(ctx context.Context, n int64) (int64, error) { return 0, nil }
+func (s *richSession) Submit(ctx context.Context, op countq.Op) error   { return nil }
+func (s *richSession) Completions() <-chan countq.Completion            { return s.done }
+func (s *richSession) Close() error                                     { return nil }
+
+func register() {
+	countq.RegisterStructure(countq.StructureInfo{
+		Name:  "overdeclared",
+		Kinds: countq.KindCounter,
+		Params: []countq.ParamInfo{
+			{Name: "spin", Default: "8", Doc: "read below, fine"},
+			{Name: "burst", Default: "4", Doc: "never read"}, // want `declared param "burst" is never read`
+		},
+		Caps: countq.CapBatch | countq.CapAsync, // want `declares CapBatch but its session type` `declares CapAsync but its session type`
+		New: func(o countq.Options) (countq.Structure, error) {
+			_ = o.Int("spin", 8)
+			_ = o.Int("depth", 2) // want `reads option key "depth" that Params does not declare`
+			if err := o.Err(); err != nil {
+				return nil, err
+			}
+			return plainStructure{}, nil
+		},
+	})
+	countq.RegisterStructure(countq.StructureInfo{
+		Name:  "underdeclared",
+		Kinds: countq.KindCounter,
+		Caps:  countq.CapHandle, // want `implements countq.BatchSession but CapBatch is not declared` `implements countq.AsyncSession but CapAsync is not declared`
+		New: func(o countq.Options) (countq.Structure, error) {
+			return richStructure{}, nil
+		},
+	})
+}

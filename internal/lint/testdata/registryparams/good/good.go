@@ -1,0 +1,85 @@
+// Package good mirrors the registration idioms the real tree uses, all of
+// which the analyzer must resolve without a false positive: Params bound
+// to a shared identifier, option parsing delegated to a local closure, a
+// variadic validation helper whose keys appear at the call site, and the
+// kind-gate — a queue-only structure whose sessions happen to implement
+// BatchSession need not (must not) declare CapBatch.
+package good
+
+import (
+	"context"
+	"fmt"
+
+	"repro/countq"
+)
+
+type queueStructure struct{}
+
+func (queueStructure) NewSession() (countq.Session, error) { return &queueSession{}, nil }
+
+// queueSession serves Enqueue natively; IncN exists (kind-gated at
+// runtime, like shm's elim queue) and Submit makes it async.
+type queueSession struct {
+	done chan countq.Completion
+}
+
+func (s *queueSession) Inc(ctx context.Context) (int64, error) {
+	return 0, countq.ErrUnsupported
+}
+
+func (s *queueSession) Enqueue(ctx context.Context, id int64) (int64, error) {
+	return countq.Head, nil
+}
+
+func (s *queueSession) IncN(ctx context.Context, n int64) (int64, error) {
+	return 0, countq.ErrUnsupported
+}
+
+func (s *queueSession) Submit(ctx context.Context, op countq.Op) error {
+	return nil
+}
+
+func (s *queueSession) Completions() <-chan countq.Completion {
+	return s.done
+}
+
+func (s *queueSession) Close() error { return nil }
+
+// atLeast1 is the variadic validation-helper idiom: the keys it reads
+// arrive as call-site constants.
+func atLeast1(o *countq.Options, keys ...string) error {
+	for _, k := range keys {
+		if _, set := o.Lookup(k); set && o.Int64(k, 1) < 1 {
+			return fmt.Errorf("param %s must be >= 1", k)
+		}
+	}
+	return o.Err()
+}
+
+func register() {
+	params := []countq.ParamInfo{
+		{Name: "spin", Default: "8", Doc: "slot wait rounds"},
+		{Name: "depth", Default: "2", Doc: "layer count"},
+		{Name: "cap", Default: "1", Doc: "per-round capacity"},
+	}
+	parse := func(o countq.Options) (spin, depth int, err error) {
+		spin = o.Int("spin", 8)
+		depth = o.Int("depth", 2)
+		if err := atLeast1(&o, "cap"); err != nil {
+			return 0, 0, err
+		}
+		return spin, depth, o.Err()
+	}
+	countq.RegisterStructure(countq.StructureInfo{
+		Name:   "honest-queue",
+		Kinds:  countq.KindQueue,
+		Params: params,
+		Caps:   countq.CapAsync,
+		New: func(o countq.Options) (countq.Structure, error) {
+			if _, _, err := parse(o); err != nil {
+				return nil, err
+			}
+			return queueStructure{}, nil
+		},
+	})
+}
