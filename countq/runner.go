@@ -273,6 +273,8 @@ func runPhases(base Workload, scenarioSpec string, phases []Phase, cs, qs Struct
 
 // claimOps takes up to chunk ops from the phase's shared pool, returning 0
 // when the budget is exhausted.
+//
+//countq:hotpath clocks=0
 func claimOps(pool *atomic.Int64, chunk int64) int64 {
 	for {
 		r := pool.Load()
@@ -307,6 +309,8 @@ func startDeadline(d time.Duration) *phaseDeadline {
 
 // done reports whether the budget expired. A nil deadline (an ops-budget
 // phase) never expires.
+//
+//countq:hotpath clocks=0
 func (pd *phaseDeadline) done() bool { return pd != nil && pd.expired.Load() }
 
 // stop releases the timer.
@@ -424,6 +428,8 @@ func (r *laneRunner) reserve(n int64) {
 // op pool, or — on a duration budget — a cheap check of the amortized
 // deadline flag plus evidence reservation in opsChunk strides. Returns
 // false when the phase's budget is exhausted.
+//
+//countq:hotpath clocks=0
 func (r *laneRunner) claim() bool {
 	if r.hasPool {
 		if r.allowance == 0 {
@@ -445,6 +451,8 @@ func (r *laneRunner) claim() bool {
 }
 
 // consume books n granted ops against the claimed allowance.
+//
+//countq:hotpath clocks=0
 func (r *laneRunner) consume(n int64) {
 	if r.hasPool {
 		r.allowance -= n
@@ -456,6 +464,8 @@ func (r *laneRunner) consume(n int64) {
 // arrive waits out one open-loop think time and advances the intended
 // clock. mark is the previous post-op (or post-pause) read, so the span
 // added to intended covers the pause but never service time.
+//
+//countq:hotpath
 func (r *laneRunner) arrive() {
 	pause(r.p.Arrival, r.rng, &r.burst)
 	now := time.Now()
@@ -466,6 +476,8 @@ func (r *laneRunner) arrive() {
 // t0 is the service-time start of a sampled synchronous op. Under an open
 // arrival the post-pause read taken moments ago already marks it, so the
 // sampled path costs one fresh clock read (t1) instead of three.
+//
+//countq:hotpath
 func (r *laneRunner) t0() time.Time {
 	if r.open {
 		return r.mark
@@ -475,6 +487,8 @@ func (r *laneRunner) t0() time.Time {
 
 // observe records one sampled op: histogram plus a timeline event that
 // reuses the op's completion timestamp instead of reading the clock again.
+//
+//countq:hotpath clocks=0
 func (r *laneRunner) observe(h *Histogram, totalNs, n int64, at time.Time) {
 	h.recordAmortized(totalNs, n)
 	r.ln.events = append(r.ln.events, tlEvent{off: at.Sub(r.runStart).Nanoseconds(), ops: r.sinceEvent + n})
@@ -482,6 +496,8 @@ func (r *laneRunner) observe(h *Histogram, totalNs, n int64, at time.Time) {
 }
 
 // flush emits the trailing unsampled ops as a final timeline event.
+//
+//countq:hotpath
 func (r *laneRunner) flush() {
 	if r.sinceEvent > 0 {
 		r.ln.events = append(r.ln.events, tlEvent{off: time.Since(r.runStart).Nanoseconds(), ops: r.sinceEvent})
@@ -490,6 +506,8 @@ func (r *laneRunner) flush() {
 
 // issueSync performs one synchronous draw — the gated zero-allocation hot
 // path — and returns how many operations it granted.
+//
+//countq:hotpath clocks=6
 func (r *laneRunner) issueSync() (int64, error) {
 	ln := r.ln
 	if r.p.Mix == 1 || (r.p.Mix > 0 && r.rng.Float64() < r.drawMix) {
@@ -585,6 +603,8 @@ func (r *laneRunner) issueSync() (int64, error) {
 // runSync drives the synchronous loop: one call-and-return per draw.
 // acquire/release bracket each draw under the fairshare rotation and are
 // nil otherwise.
+//
+//countq:hotpath clocks=0
 func (r *laneRunner) runSync(acquire, release func()) {
 	for r.iter = 0; ; r.iter++ {
 		if !r.claim() {
@@ -612,6 +632,8 @@ func (r *laneRunner) runSync(acquire, release func()) {
 // submitOne issues one draw on the async pipeline; false means the budget
 // is exhausted and nothing was submitted. Op values travel by value into
 // the session's preallocated rings, so the submit path allocates nothing.
+//
+//countq:hotpath
 func (r *laneRunner) submitOne() (bool, error) {
 	if !r.claim() {
 		return false, nil
@@ -656,6 +678,8 @@ func (r *laneRunner) submitOne() (bool, error) {
 }
 
 // reap folds one completion into the lane's evidence and histograms.
+//
+//countq:hotpath
 func (r *laneRunner) reap(c Completion) {
 	ln := r.ln
 	now := time.Now()
@@ -694,6 +718,8 @@ func (r *laneRunner) reap(c Completion) {
 
 // runAsync drives the pipelined loop: keep Inflight ops outstanding,
 // reaping completions as they arrive.
+//
+//countq:hotpath clocks=0
 func (r *laneRunner) runAsync() {
 	budgetDone := false
 	for {

@@ -107,6 +107,8 @@ func (c *combineCore) unregister(sl *asyncSlot) {
 // combine makes the calling goroutine the combiner if nobody else is, and
 // keeps re-acquiring until no published-but-unconsumed submission remains
 // (see the stranding protocol at the top of the file).
+//
+//countq:hotpath clocks=0
 func (c *combineCore) combine() {
 	for {
 		if !c.mu.TryLock() {
@@ -125,6 +127,8 @@ func (c *combineCore) combine() {
 // sweep consumes every parked submission until pending drains, applying
 // each collected batch to the shared structure in one round. Runs with the
 // combiner lock held; scratch is reused so steady state allocates nothing.
+//
+//countq:hotpath clocks=0
 func (c *combineCore) sweep() {
 	for c.pending.Load() > 0 {
 		slots := *c.slots.Load()
@@ -154,6 +158,8 @@ func (c *combineCore) sweep() {
 }
 
 // deliver fires one completion and releases its async accounting.
+//
+//countq:hotpath clocks=0
 func deliver(e *asyncEntry, v int64) {
 	e.out <- countq.Completion{Op: e.op, Value: v}
 	if e.async {
@@ -194,6 +200,8 @@ var errSessionClosed = fmt.Errorf("shm: session is closed")
 // publish parks one entry in the session's ring, reporting false when the
 // ring is full (only possible with unconsumed async submissions ahead).
 // pending is incremented before the tail moves — the stranding protocol.
+//
+//countq:hotpath clocks=0
 func (s *combineSession) publish(e asyncEntry) bool {
 	sl := s.slot
 	h, t := sl.head.Load(), sl.tail.Load()
@@ -209,6 +217,8 @@ func (s *combineSession) publish(e asyncEntry) bool {
 // backoff lets an active combiner pick the freshly published entry up
 // before the publisher fights for the lock itself — the back-off half of
 // elimination/back-off. spin = 0 goes straight to combining.
+//
+//countq:hotpath clocks=0
 func (s *combineSession) backoff() {
 	for i := 0; i < s.core.spin; i++ {
 		if s.core.pending.Load() == 0 {
@@ -222,6 +232,8 @@ func (s *combineSession) backoff() {
 // roundTrip is the synchronous op path: publish, help combine, wait on the
 // session's dedicated reply channel (capacity 1, reused — one sync op at a
 // time per single-owner session, so it is always empty here).
+//
+//countq:hotpath clocks=0
 func (s *combineSession) roundTrip(ctx context.Context, op countq.Op) (int64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -249,6 +261,8 @@ func (s *combineSession) roundTrip(ctx context.Context, op countq.Op) (int64, er
 }
 
 // Inc implements countq.Session.
+//
+//countq:hotpath clocks=0
 func (s *combineSession) Inc(ctx context.Context) (int64, error) {
 	if !s.kinds.Has(countq.KindCounter) {
 		return 0, fmt.Errorf("shm: Inc on a queue-only combining structure: %w", countq.ErrUnsupported)
@@ -258,6 +272,8 @@ func (s *combineSession) Inc(ctx context.Context) (int64, error) {
 
 // IncN implements countq.BatchSession: the block grant is just a combined
 // entry with N > 1 — the combiner assigns it a consecutive range.
+//
+//countq:hotpath clocks=0
 func (s *combineSession) IncN(ctx context.Context, n int64) (int64, error) {
 	if !s.kinds.Has(countq.KindCounter) {
 		return 0, fmt.Errorf("shm: IncN on a queue-only combining structure: %w", countq.ErrUnsupported)
@@ -269,6 +285,8 @@ func (s *combineSession) IncN(ctx context.Context, n int64) (int64, error) {
 }
 
 // Enqueue implements countq.Session.
+//
+//countq:hotpath clocks=0
 func (s *combineSession) Enqueue(ctx context.Context, id int64) (int64, error) {
 	if !s.kinds.Has(countq.KindQueue) {
 		return 0, fmt.Errorf("shm: Enqueue on a counter-only combining structure: %w", countq.ErrUnsupported)
@@ -279,6 +297,8 @@ func (s *combineSession) Enqueue(ctx context.Context, id int64) (int64, error) {
 // Submit implements countq.AsyncSession: park the op, nudge the combiner,
 // return. The completion fires on Completions() when a combine round
 // carries the op to the root.
+//
+//countq:hotpath clocks=0
 func (s *combineSession) Submit(ctx context.Context, op countq.Op) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -315,6 +335,8 @@ func (s *combineSession) Submit(ctx context.Context, op countq.Op) error {
 }
 
 // Completions implements countq.AsyncSession.
+//
+//countq:hotpath clocks=0
 func (s *combineSession) Completions() <-chan countq.Completion {
 	return s.out
 }
@@ -363,6 +385,7 @@ func NewAsyncFunnelCounter(pipeline, spin int) (*AsyncFunnelCounter, error) {
 	return f, nil
 }
 
+//countq:hotpath clocks=0
 func (f *AsyncFunnelCounter) applyBatch(batch []asyncEntry) {
 	var total int64
 	for i := range batch {
@@ -412,6 +435,7 @@ func NewElimQueue(pipeline, spin int) (*ElimQueue, error) {
 	return q, nil
 }
 
+//countq:hotpath clocks=0
 func (q *ElimQueue) applyBatch(batch []asyncEntry) {
 	pred := q.tail.Swap(batch[len(batch)-1].op.ID) // the round's only RMW
 	for i := range batch {

@@ -50,10 +50,14 @@ type AtomicCounter struct {
 func NewAtomicCounter() *AtomicCounter { return &AtomicCounter{} }
 
 // Inc implements Counter.
+//
+//countq:hotpath clocks=0
 func (c *AtomicCounter) Inc() int64 { return c.v.Add(1) }
 
 // IncN implements countq.BatchIncrementer: one fetch-and-add grants the
 // whole block first..first+n-1.
+//
+//countq:hotpath clocks=0
 func (c *AtomicCounter) IncN(n int64) int64 { return c.v.Add(n) - n + 1 }
 
 // MutexCounter serializes increments behind a mutex.
@@ -66,6 +70,8 @@ type MutexCounter struct {
 func NewMutexCounter() *MutexCounter { return &MutexCounter{} }
 
 // Inc implements Counter.
+//
+//countq:hotpath clocks=0
 func (c *MutexCounter) Inc() int64 {
 	c.mu.Lock()
 	c.v++
@@ -76,6 +82,8 @@ func (c *MutexCounter) Inc() int64 {
 
 // IncN implements countq.BatchIncrementer: one critical section grants the
 // whole block first..first+n-1.
+//
+//countq:hotpath clocks=0
 func (c *MutexCounter) IncN(n int64) int64 {
 	c.mu.Lock()
 	c.v += n

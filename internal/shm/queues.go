@@ -32,6 +32,8 @@ func NewSwapQueue() *SwapQueue {
 }
 
 // Enqueue implements Queuer with a single atomic exchange.
+//
+//countq:hotpath clocks=0
 func (q *SwapQueue) Enqueue(id int64) int64 { return q.tail.Swap(id) }
 
 // MutexQueue is the lock-based baseline for queuing.
@@ -44,6 +46,8 @@ type MutexQueue struct {
 func NewMutexQueue() *MutexQueue { return &MutexQueue{tail: Head} }
 
 // Enqueue implements Queuer.
+//
+//countq:hotpath clocks=0
 func (q *MutexQueue) Enqueue(id int64) int64 {
 	q.mu.Lock()
 	pred := q.tail

@@ -64,6 +64,8 @@ func NewShardedCounter(shards int, batch int64) (*ShardedCounter, error) {
 }
 
 // Inc implements Counter.
+//
+//countq:hotpath clocks=0
 func (c *ShardedCounter) Inc() int64 {
 	idx := c.affinity.Get().(*int)
 	s := &c.shards[*idx]
@@ -80,6 +82,8 @@ func (c *ShardedCounter) Inc() int64 {
 
 // lease obtains the next block of counts: a reconciled range when one is
 // pooled, otherwise a fresh batch off the global high-water mark.
+//
+//countq:hotpath clocks=0
 func (c *ShardedCounter) lease() (lo, hi int64) {
 	c.poolMu.Lock()
 	if n := len(c.free); n > 0 {
@@ -99,6 +103,8 @@ func (c *ShardedCounter) lease() (lo, hi int64) {
 // grant is the caller's to account for; it is never pooled or reissued,
 // so handed-out singles ∪ granted blocks ∪ drained remainders still tile
 // 1..max exactly.
+//
+//countq:hotpath clocks=0
 func (c *ShardedCounter) IncN(n int64) int64 {
 	if n < 1 {
 		panic(fmt.Sprintf("shm: sharded IncN(%d), want n ≥ 1", n))
@@ -123,6 +129,8 @@ type shardedHandle struct {
 }
 
 // Inc implements countq.CounterHandle.
+//
+//countq:hotpath clocks=0
 func (h *shardedHandle) Inc() int64 {
 	if h.lo == h.hi {
 		h.lo, h.hi = h.c.lease()
