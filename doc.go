@@ -117,6 +117,15 @@
 //	go test -bench=. -benchmem
 //	go test -run TestBenchJSON -benchjson BENCH_now.json .    # tail-latency surface + deltas
 //
+// The measured invariants are also proved statically: cmd/countqlint runs
+// the repo's own analyzers (internal/lint) over the tree — functions
+// marked //countq:hotpath must be allocation-free with a declared clock
+// budget, registry Params/Caps declarations must match what constructors
+// read and sessions implement, sync/atomic fields must be accessed
+// atomically everywhere, and exported context-taking methods must consult
+// their context before blocking. CI runs `go run ./cmd/countqlint ./...`
+// on every push; see DESIGN.md ("Static invariants") for the contract.
+//
 // The cmd/countq, cmd/nntsp and cmd/bounds executables expose the same
 // functionality on the command line, and examples/ holds runnable
 // walkthroughs (quickstart, a spec-API sweep, the scenario engine, a
