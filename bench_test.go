@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/nntsp"
 	"repro/internal/shm"
+	"repro/internal/sim"
 	"repro/internal/tree"
 )
 
@@ -361,6 +362,57 @@ func BenchmarkSimBridge(b *testing.B) {
 	}
 }
 
+// echoProto saturates a star: the hub echoes every message back to its
+// sender and each leaf immediately re-requests, so every round moves
+// 2*(n-1) messages through the engine's deliver/receive/send machinery
+// with no protocol logic on top. The Step loop it drives is the engine's
+// scheduling-and-queueing floor — the number the engine-v2 rewrite is
+// gated on (rounds/sec and msgs/sec at zero hop latency).
+type echoProto struct{ hub int }
+
+func (p echoProto) Start(env *sim.Env, node int) {
+	if node != p.hub {
+		env.Send(node, p.hub, sim.Message{From: node, To: p.hub, Kind: 1})
+	}
+}
+
+func (p echoProto) Deliver(env *sim.Env, node int, m sim.Message) {
+	env.Send(node, m.From, sim.Message{From: node, To: m.From, Kind: 1})
+}
+
+func BenchmarkSimEngineStep(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		n     int
+		delay sim.DelayModel
+	}{
+		{"star9-unit", 9, nil},
+		{"star9-jitter3", 9, sim.JitterDelay{Seed: 1, Max: 3}},
+		{"star33-unit", 33, nil},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			g := graph.Star(bc.n)
+			nw := sim.New(sim.Config{Graph: g, Capacity: bc.n - 1, Delay: bc.delay}, echoProto{hub: 0})
+			if err := nw.Begin(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := nw.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "rounds/sec")
+				b.ReportMetric(float64(2*(bc.n-1))*float64(b.N)/secs, "msgs/sec")
+			}
+		})
+	}
+}
+
 func BenchmarkShmLocks(b *testing.B) {
 	b.Run("clh", func(b *testing.B) {
 		l := shm.NewCLHLock()
@@ -535,7 +587,22 @@ func TestBenchJSON(t *testing.T) {
 			{Queue: "elim", Inflight: 8},
 		},
 	}
-	for _, c := range []countq.Campaign{steady, rampC, batch, queues, queuesRamp, async, nativeAsync, queuesNative} {
+	// The paper's separation end-to-end: the central protocol against the
+	// distributed arrow queue and the combining-tree counter under the
+	// identical ramp, with the hop as the cost unit. The entries are
+	// cross-kind on purpose — counting priced against queuing under one
+	// phase sequence is the paper's question; latency ratios across kinds
+	// are omitted, ns/op and throughput ratios carry the comparison.
+	simProtocols := countq.Campaign{
+		Name: "sim-protocols-ramp",
+		Base: countq.Workload{Scenario: ramp, Goroutines: gmax},
+		Entries: []countq.Entry{
+			{Counter: "sim-counter?hoplat=200ns"},
+			{Queue: "sim-arrow-queue?hoplat=200ns"},
+			{Counter: "sim-tree-counter?hoplat=200ns"},
+		},
+	}
+	for _, c := range []countq.Campaign{steady, rampC, batch, queues, queuesRamp, async, nativeAsync, queuesNative, simProtocols} {
 		run(c)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -36,11 +36,24 @@ func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
 // asymmetric comparisons — batched vs unbatched, pipelined vs synchronous
 // — at equal op budgets; batch=1 forces the single-Inc path even when the
 // campaign base batches.
+//
+// A spec naming a queue-only structure becomes a pure queue entry even
+// without -queues, so cross-kind campaigns read naturally:
+// `countq compare "sim-counter,sim-arrow-queue,sim-tree-counter"` prices
+// counting against queuing under one phase sequence — the paper's
+// separation as one command.
 func parseEntry(arg, sharedQueue string, asQueue bool) (countq.Entry, error) {
 	parts := strings.Split(arg, "@")
 	e := countq.Entry{Counter: parts[0], Queue: sharedQueue}
 	if asQueue {
 		e = countq.Entry{Queue: parts[0]}
+	} else if sharedQueue == "" {
+		name, _, _ := strings.Cut(parts[0], "?")
+		_, isCounter := countq.LookupStructure(name, countq.KindCounter)
+		_, isQueue := countq.LookupStructure(name, countq.KindQueue)
+		if isQueue && !isCounter {
+			e = countq.Entry{Queue: parts[0]}
+		}
 	}
 	for _, ov := range parts[1:] {
 		k, v, ok := strings.Cut(ov, "=")

@@ -107,11 +107,11 @@ func TestCampaignValidation(t *testing.T) {
 		{"empty entry", Campaign{
 			Base: shape, Entries: []Entry{{Counter: "test-alpha"}, {}},
 		}, "neither a counter nor a queue"},
-		{"shape mismatch", Campaign{
-			Base: shape, Entries: []Entry{{Counter: "test-alpha"}, {Queue: "test-queue"}},
-		}, "kind shape"},
 		{"mixed vs pure mismatch", Campaign{
 			Base: shape, Entries: []Entry{{Counter: "test-alpha"}, {Counter: "test-batch", Queue: "test-queue"}},
+		}, "kind shape"},
+		{"pure vs mixed mismatch", Campaign{
+			Base: shape, Entries: []Entry{{Counter: "test-alpha", Queue: "test-queue"}, {Counter: "test-batch"}},
 		}, "kind shape"},
 		{"duplicate entry", Campaign{
 			Base: shape, Entries: []Entry{{Counter: "test-alpha"}, {Counter: "test-alpha"}},
@@ -132,6 +132,35 @@ func TestCampaignValidation(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// TestCampaignCrossKind compares a pure counter entry against a pure
+// queue entry: both run the identical phase sequence and budget with their
+// own operation kind — the paper's counting-versus-queuing question as a
+// campaign. Core ratios (ns/op, throughput) are computed; latency ratios,
+// which would compare different op kinds, are omitted.
+func TestCampaignCrossKind(t *testing.T) {
+	registerTestImpls()
+	cmp, err := Campaign{
+		Base:    Workload{Goroutines: 2, Ops: 2000, Seed: 1},
+		Entries: []Entry{{Counter: "test-alpha"}, {Queue: "test-queue"}},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(cmp.Results))
+	}
+	c, q := cmp.Results[0], cmp.Results[1]
+	if c.Metrics.Aggregate.Ops != q.Metrics.Aggregate.Ops {
+		t.Errorf("cross-kind budgets diverged: counter ran %d ops, queue ran %d", c.Metrics.Aggregate.Ops, q.Metrics.Aggregate.Ops)
+	}
+	if q.AggregateDelta.NsPerOpRatio <= 0 || q.AggregateDelta.ThroughputRatio <= 0 {
+		t.Errorf("cross-kind core deltas not computed: %+v", q.AggregateDelta)
+	}
+	if q.AggregateDelta.P99Ratio != 0 {
+		t.Errorf("cross-kind p99 ratio = %v, want omitted (0): the sides measured different op kinds", q.AggregateDelta.P99Ratio)
 	}
 }
 

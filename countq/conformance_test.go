@@ -14,11 +14,13 @@ import (
 	"testing"
 
 	"repro/countq"
+	_ "repro/internal/arrow"    // registers sim-arrow-queue
+	_ "repro/internal/counting" // registers sim-tree-counter
 	"repro/internal/shm"
 	"repro/internal/sim"
 )
 
-// Keep the zoo and the bridge registered (both self-register on import).
+// Keep the zoo and the bridges registered (all self-register on import).
 var (
 	_ = shm.VariantSpecs
 	_ = sim.BridgeConfig{}

@@ -1,0 +1,138 @@
+package sim_test
+
+// The engine-v2 zero-allocation gates, mirroring countq/alloc_test.go:
+// testing.AllocsPerRun over Network.Step and over the bridge's
+// submit/complete paths. Every buffer the engine and bridge use — wheel
+// buckets, inbox/outbox queues, the grant table's slot slice, the
+// session's reply channel — is grown during warmup, so the measured
+// window sees only steady-state reuse. AllocsPerRun reads global malloc
+// counters, so the pump goroutine's per-op work is inside the gate too:
+// a pass proves the whole op path allocation-free, not just the caller's
+// half.
+
+import (
+	"context"
+	"testing"
+
+	"repro/countq"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// stepEcho is the microbench protocol: every leaf pings the hub each
+// round, the hub echoes — a full-contention star with 2(n-1) messages per
+// round and no termination.
+type stepEcho struct{ hub int }
+
+func (p stepEcho) Start(env *sim.Env, node int) {
+	if node != p.hub {
+		env.Send(node, p.hub, sim.Message{Kind: 1})
+	}
+}
+
+func (p stepEcho) Deliver(env *sim.Env, node int, m sim.Message) {
+	env.Send(node, m.From, sim.Message{Kind: 1})
+}
+
+// gate runs body under AllocsPerRun and fails on any per-op allocation.
+func gate(t *testing.T, name string, runs int, body func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(runs, body); avg != 0 {
+		t.Errorf("%s: %.4f allocs/op in steady state, want 0", name, avg)
+	}
+}
+
+// TestStepAllocFree gates Network.Step at zero steady-state allocations,
+// under unit delay (direct-delivery fast path) and under jitter (the
+// timing-wheel path, whose buckets must recycle).
+func TestStepAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		delay sim.DelayModel
+	}{
+		{"unit", nil},
+		{"jitter3", sim.JitterDelay{Seed: 1, Max: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n := 9
+			nw := sim.New(sim.Config{Graph: graph.Star(n), Capacity: n - 1, Delay: tc.delay}, stepEcho{hub: 0})
+			if err := nw.Begin(); err != nil {
+				t.Fatal(err)
+			}
+			// Warmup: grow the wheel, every queue and every bucket to the
+			// workload's high-water mark.
+			for i := 0; i < 64; i++ {
+				if err := nw.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var stepErr error
+			gate(t, "Network.Step/"+tc.name, 200, func() {
+				if err := nw.Step(); err != nil {
+					stepErr = err
+				}
+			})
+			if stepErr != nil {
+				t.Fatal(stepErr)
+			}
+		})
+	}
+}
+
+// TestBridgeOpAllocFree gates the bridge's per-op paths: the synchronous
+// round trip (reply-channel reuse), the batch grant, and the async
+// submit/complete pipeline. The pump's issue → route → grant work runs
+// inside the measured window.
+func TestBridgeOpAllocFree(t *testing.T) {
+	b, err := sim.NewBridge(sim.BridgeConfig{HopLat: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	sess, err := b.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+
+	// Warmup: grow the grant table, wheel and queues.
+	for i := 0; i < 32; i++ {
+		if _, err := sess.Inc(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var opErr error
+	gate(t, "bridge.Inc", 100, func() {
+		if _, err := sess.Inc(ctx); err != nil {
+			opErr = err
+		}
+	})
+	bs := sess.(countq.BatchSession)
+	gate(t, "bridge.IncN", 100, func() {
+		if _, err := bs.IncN(ctx, 8); err != nil {
+			opErr = err
+		}
+	})
+	as := sess.(countq.AsyncSession)
+	// Prime the async path (first Submit may grow pump-side state for the
+	// pipelined shape), then gate a submit+reap cycle.
+	for i := 0; i < 32; i++ {
+		if err := as.Submit(ctx, countq.Op{Kind: countq.OpInc, N: 1}); err != nil {
+			t.Fatal(err)
+		}
+		<-as.Completions()
+	}
+	gate(t, "bridge.Submit+reap", 100, func() {
+		if err := as.Submit(ctx, countq.Op{Kind: countq.OpInc, N: 1}); err != nil {
+			opErr = err
+		}
+		c := <-as.Completions()
+		if c.Err != nil {
+			opErr = c.Err
+		}
+	})
+	if opErr != nil {
+		t.Fatal(opErr)
+	}
+}

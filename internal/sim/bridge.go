@@ -15,32 +15,68 @@ import (
 
 // The bridge runs a message-passing protocol as a countq Structure — the
 // first backend only the session API can express. Sessions are pinned to
-// leaf nodes of a simulated network; every Inc/Enqueue becomes a request
-// message routed over the spanning tree to the root (which owns the
-// counter or the queue tail), and a grant routed back. A single pump
-// goroutine advances the simulation one round per configured hop latency,
-// so the coordination cost the paper reasons about — hops to the point of
+// leaf nodes of a simulated network; every Inc/Enqueue becomes an
+// operation issued into the protocol, which routes whatever messages it
+// needs and eventually grants a value back. A single pump goroutine
+// advances the simulation one round per configured hop latency, so the
+// coordination cost the paper reasons about — hops to the point of
 // serialization, contention at its receive capacity — shows up as real
 // wall-clock latency in the scenario engine's histograms, comparable in
 // one campaign against the shared-memory zoo.
 //
-// The bridge is deliberately the *central* protocol: the naive baseline
-// whose root serializes everything. On the star it realizes the Θ(n²)
-// hub behavior of the paper's conclusions; on the list it pays the
-// diameter. Sessions support the synchronous Session calls (each blocks
-// for its round trip), BatchSession (one request grants a block), and
+// The protocol behind the bridge is pluggable (BridgeProtocol): the
+// default is the naive central protocol (internal/sim/central.go), whose
+// root serializes everything — Θ(n²) hub behavior on the star. The
+// paper's good protocols register themselves through ProtoMaker:
+// internal/arrow routes queuing through distributed path reversal
+// (sim-arrow-queue) and internal/counting routes counting through the
+// combining tree (sim-tree-counter), which makes the paper's
+// counting-vs-queuing separation directly measurable in one campaign.
+//
+// Sessions support the synchronous Session calls (each blocks for its
+// round trip), BatchSession (one request grants a block), and
 // AsyncSession (Submit/Completions — the pipeline that overlaps round
 // trips, which no synchronous interface could express).
-
-// Message kinds used by the bridge protocol.
-const (
-	bkReq   = 101 // A = token, B = origin node, C = block size or op id
-	bkGrant = 102 // A = token, B = origin node, C = count or predecessor
-)
 
 // bridgePipeline is the per-session completion buffer and the cap on
 // operations one session may keep outstanding.
 const bridgePipeline = 1024
+
+// Grants is the completion sink a BridgeProtocol resolves operations
+// into: Grant completes the operation issued under token with the granted
+// value (a count-block start, or a queue predecessor id). Granting an
+// unknown or already-granted token is a no-op.
+type Grants interface {
+	Grant(token int, value int64)
+}
+
+// BridgeProtocol is a message-passing protocol routable by the bridge.
+// Implementations own all protocol state; the bridge owns sessions,
+// tokens and completion delivery. Everything runs on the single pump
+// goroutine, so no synchronization is needed. A protocol may additionally
+// implement BridgeTicker for per-round work.
+type BridgeProtocol interface {
+	// Start seeds per-node protocol state before the first round.
+	Start(env *Env, node int)
+	// Issue injects the operation op, identified by token, at node. The
+	// protocol must eventually Grant the token (the pump keeps stepping
+	// rounds while any token is outstanding).
+	Issue(env *Env, node int, token int, op countq.Op)
+	// Deliver handles one protocol message at node.
+	Deliver(env *Env, node int, m Message)
+}
+
+// BridgeTicker is an optional BridgeProtocol extension mirroring Ticker:
+// Tick runs for every node after each round's receive phase — combining
+// protocols use it to flush batches once per round.
+type BridgeTicker interface {
+	Tick(env *Env, node int)
+}
+
+// ProtoMaker builds a BridgeProtocol for the bridge's graph and spanning
+// tree, resolving completions into grants. Packages register bridge specs
+// by passing a ProtoMaker in BridgeConfig.Proto.
+type ProtoMaker func(g *graph.Graph, tr *tree.Tree, grants Grants) (BridgeProtocol, error)
 
 // BridgeConfig describes a bridge instance.
 type BridgeConfig struct {
@@ -57,13 +93,18 @@ type BridgeConfig struct {
 	// Capacity is the per-node per-round send/receive budget, the paper's
 	// c (default 1).
 	Capacity int
-	// Queue selects the queuing protocol (sessions serve Enqueue) instead
-	// of the counting protocol (sessions serve Inc).
+	// Queue selects queuing semantics (sessions serve Enqueue) instead of
+	// counting semantics (sessions serve Inc).
 	Queue bool
+	// Proto overrides the routed protocol; nil selects the central
+	// protocol matching Queue.
+	Proto ProtoMaker
+	// Delay overrides the link delay model; nil means UnitDelay.
+	Delay DelayModel
 }
 
-// Bridge runs the central message-passing protocol as a countq.Structure.
-// Close stops the network pump; the workload driver closes it when a run
+// Bridge runs a message-passing protocol as a countq.Structure. Close
+// stops the network pump; the workload driver closes it when a run
 // finishes.
 type Bridge struct {
 	cfg      BridgeConfig
@@ -73,6 +114,11 @@ type Bridge struct {
 	stop     sync.Once
 	nextLeaf atomic.Uint64
 	leaves   []int
+	// Simulated-time mirror of the network stats, refreshed by the pump
+	// once per round so callers can report simulated rounds and message
+	// counts alongside wall latency without touching pump-owned state.
+	simRounds atomic.Int64
+	simMsgs   atomic.Int64
 	// closeMu fences submission against Close: senders hold the read
 	// side across the closed-flag check and the channel send, so once
 	// Close holds the write side no send can be in flight — every
@@ -85,13 +131,83 @@ type Bridge struct {
 
 // bridgeOp is one operation in flight from a session to the pump.
 type bridgeOp struct {
-	node    int
-	op      countq.Op
-	out     chan<- countq.Completion
-	settled func() // decrements the session's outstanding count (async ops)
+	node int
+	op   countq.Op
+	out  chan<- countq.Completion
+	sess *bridgeSession // non-nil for async ops: outstanding accounting
 }
 
-// NewBridge builds the network and starts the pump.
+// settle delivers c for o and releases the session's outstanding slot.
+// Completion channels are always buffered deep enough (per-session reply
+// channels hold 1; pipelines cap outstanding at their buffer), so this
+// never blocks the pump.
+//
+//countq:hotpath
+func settle(o bridgeOp, c countq.Completion) {
+	o.out <- c
+	if o.sess != nil {
+		o.sess.outstanding.Add(-1)
+	}
+}
+
+// grantTable is the pump's pending-operation store: a slot slice indexed
+// by token with a free list, so steady-state issue/grant cycles reuse
+// slots with no map traffic and no allocation.
+type grantTable struct {
+	slots []bridgeOp
+	free  []int
+	live  int
+}
+
+// add stores o and returns its token.
+//
+//countq:hotpath
+func (t *grantTable) add(o bridgeOp) int {
+	t.live++
+	if k := len(t.free) - 1; k >= 0 {
+		tok := t.free[k]
+		t.free = t.free[:k]
+		t.slots[tok] = o
+		return tok
+	}
+	t.slots = append(t.slots, o)
+	return len(t.slots) - 1
+}
+
+// Grant implements Grants: it completes the operation under tok with val.
+//
+//countq:hotpath
+func (t *grantTable) Grant(tok int, val int64) {
+	if tok < 0 || tok >= len(t.slots) {
+		return
+	}
+	o := t.slots[tok]
+	if o.out == nil {
+		return
+	}
+	t.slots[tok] = bridgeOp{}
+	t.free = append(t.free, tok)
+	t.live--
+	settle(o, countq.Completion{Op: o.op, Value: val})
+}
+
+// failAll resolves every pending operation with err — the pump's
+// fail-loudly path when the simulation itself errors.
+func (t *grantTable) failAll(err error) {
+	for tok := range t.slots {
+		o := t.slots[tok]
+		if o.out == nil {
+			continue
+		}
+		t.slots[tok] = bridgeOp{}
+		t.free = append(t.free, tok)
+		t.live--
+		settle(o, countq.Completion{Op: o.op, Err: err})
+	}
+}
+
+// NewBridge builds the network, constructs the protocol and starts the
+// pump.
 func NewBridge(cfg BridgeConfig) (*Bridge, error) {
 	n := cfg.Nodes
 	if n == 0 {
@@ -141,8 +257,45 @@ func NewBridge(cfg BridgeConfig) (*Bridge, error) {
 		pumpExit: make(chan struct{}),
 		leaves:   leaves,
 	}
-	go b.pump(g, tr)
+	table := &grantTable{}
+	var bp BridgeProtocol
+	if cfg.Proto != nil {
+		bp, err = cfg.Proto(g, tr, table)
+		if err != nil {
+			return nil, fmt.Errorf("sim: bridge protocol: %w", err)
+		}
+	} else {
+		bp = newCentralProto(tr, cfg.Queue, table)
+	}
+	var netp Protocol = bridgeNetProto{bp}
+	if t, ok := bp.(BridgeTicker); ok {
+		netp = bridgeNetProtoTick{bridgeNetProto{bp}, t}
+	}
+	nw := New(Config{Graph: g, Capacity: cfg.Capacity, Delay: cfg.Delay}, netp)
+	go b.pump(nw, bp, table)
 	return b, nil
+}
+
+// bridgeNetProto adapts a BridgeProtocol to the engine's Protocol; the
+// Tick variant is used only when the protocol wants per-round callbacks,
+// so non-ticking protocols pay no per-node Tick loop.
+type bridgeNetProto struct{ p BridgeProtocol }
+
+func (a bridgeNetProto) Start(env *Env, node int)              { a.p.Start(env, node) }
+func (a bridgeNetProto) Deliver(env *Env, node int, m Message) { a.p.Deliver(env, node, m) }
+
+type bridgeNetProtoTick struct {
+	bridgeNetProto
+	t BridgeTicker
+}
+
+func (a bridgeNetProtoTick) Tick(env *Env, node int) { a.t.Tick(env, node) }
+
+// SimStats reports the simulated rounds stepped and protocol messages
+// sent so far — the simulated-time cost behind the wall-clock latencies,
+// refreshed once per round by the pump. Safe from any goroutine.
+func (b *Bridge) SimStats() (rounds, messages int64) {
+	return b.simRounds.Load(), b.simMsgs.Load()
 }
 
 // Close stops the pump after it drains every accepted operation, then
@@ -161,10 +314,7 @@ func (b *Bridge) Close() error {
 	for {
 		select {
 		case o := <-b.submit:
-			o.out <- countq.Completion{Op: o.op, Err: errBridgeClosed}
-			if o.settled != nil {
-				o.settled()
-			}
+			settle(o, countq.Completion{Op: o.op, Err: errBridgeClosed})
 		default:
 			return nil
 		}
@@ -173,10 +323,12 @@ func (b *Bridge) Close() error {
 
 // send hands an operation to the pump, fenced against Close. An error
 // means the operation was not accepted and no Completion will arrive.
+//
+//countq:hotpath
 func (s *bridgeSession) send(ctx context.Context, o bridgeOp) error {
 	s.b.closeMu.RLock()
-	defer s.b.closeMu.RUnlock()
 	if s.b.closed {
+		s.b.closeMu.RUnlock()
 		return errBridgeClosed
 	}
 	// The pump is alive for as long as this read lock is held (Close
@@ -184,8 +336,10 @@ func (s *bridgeSession) send(ctx context.Context, o bridgeOp) error {
 	// drains and this send cannot block indefinitely.
 	select {
 	case s.b.submit <- o:
+		s.b.closeMu.RUnlock()
 		return nil
 	case <-ctx.Done():
+		s.b.closeMu.RUnlock()
 		return ctx.Err()
 	}
 }
@@ -195,156 +349,75 @@ func (s *bridgeSession) send(ctx context.Context, o bridgeOp) error {
 func (b *Bridge) NewSession() (countq.Session, error) {
 	i := b.nextLeaf.Add(1) - 1
 	return &bridgeSession{
-		b:    b,
-		node: b.leaves[int(i%uint64(len(b.leaves)))],
-		out:  make(chan countq.Completion, bridgePipeline),
+		b:     b,
+		node:  b.leaves[int(i%uint64(len(b.leaves)))],
+		out:   make(chan countq.Completion, bridgePipeline),
+		reply: make(chan countq.Completion, 1),
 	}, nil
-}
-
-// bridgeProto is the central protocol: requests route to the root, which
-// assigns counts (or remembers the queue tail) and routes grants back.
-type bridgeProto struct {
-	router  *tree.Router
-	root    int
-	queue   bool
-	next    int64 // counter high-water mark at the root
-	last    int64 // queue predecessor at the root
-	seq     int   // injection tokens
-	pending map[int]bridgeOp
-}
-
-func (p *bridgeProto) Start(*Env, int) {}
-
-// issue injects an operation at its session's node: root-adjacent state is
-// never touched directly — even a root-co-located op would pay the message
-// round trip, but sessions are only assigned to non-root nodes.
-func (p *bridgeProto) issue(env *Env, o bridgeOp) {
-	tok := p.seq
-	p.seq++
-	p.pending[tok] = o
-	payload := int(o.op.N)
-	if p.queue {
-		payload = int(o.op.ID)
-	}
-	env.Send(o.node, p.router.NextHop(o.node, p.root), Message{Kind: bkReq, A: tok, B: o.node, C: payload})
-}
-
-func (p *bridgeProto) Deliver(env *Env, node int, m Message) {
-	switch m.Kind {
-	case bkReq:
-		if node != p.root {
-			env.Send(node, p.router.NextHop(node, p.root), m)
-			return
-		}
-		var val int64
-		if p.queue {
-			val = p.last
-			p.last = int64(m.C)
-		} else {
-			n := int64(m.C)
-			if n < 1 {
-				n = 1
-			}
-			val = p.next + 1
-			p.next += n
-		}
-		env.Send(node, p.router.NextHop(node, m.B), Message{Kind: bkGrant, A: m.A, B: m.B, C: int(val)})
-	case bkGrant:
-		if node != m.B {
-			env.Send(node, p.router.NextHop(node, m.B), m)
-			return
-		}
-		p.complete(m.A, int64(m.C), nil)
-	default:
-		env.Fail(fmt.Errorf("sim: bridge got unexpected message kind %d", m.Kind))
-	}
-}
-
-// complete resolves a pending operation. The completion channel is always
-// buffered deep enough (per-op reply channels hold 1; session pipelines
-// cap outstanding at their buffer), so this never blocks the pump.
-func (p *bridgeProto) complete(tok int, val int64, err error) {
-	o, ok := p.pending[tok]
-	if !ok {
-		return
-	}
-	delete(p.pending, tok)
-	o.out <- countq.Completion{Op: o.op, Value: val, Err: err}
-	if o.settled != nil {
-		o.settled()
-	}
-}
-
-// failAll resolves every pending operation with err — the pump's
-// fail-loudly path when the simulation itself errors.
-func (p *bridgeProto) failAll(err error) {
-	for tok := range p.pending {
-		p.complete(tok, 0, err)
-	}
 }
 
 // pump is the network clock: it injects submitted operations, advances one
 // simulated round per hop latency, and exits — after draining everything
 // accepted — when the bridge is closed.
-func (b *Bridge) pump(g *graph.Graph, tr *tree.Tree) {
+func (b *Bridge) pump(nw *Network, bp BridgeProtocol, table *grantTable) {
 	defer close(b.pumpExit)
-	proto := &bridgeProto{
-		router:  tr.NewRouter(),
-		root:    tr.Root(),
-		queue:   b.cfg.Queue,
-		last:    countq.Head,
-		pending: make(map[int]bridgeOp),
-	}
-	nw := New(Config{Graph: g, Capacity: b.cfg.Capacity}, proto)
+	b.pumpLoop(nw, bp, table)
+}
+
+// pumpLoop is the pump's steady state: allocation-free once the grant
+// table and the engine's buffers have grown to the workload's high-water
+// mark.
+//
+//countq:hotpath
+func (b *Bridge) pumpLoop(nw *Network, bp BridgeProtocol, table *grantTable) {
 	env := nw.Env()
 	if err := nw.Begin(); err != nil {
-		b.fail(proto, err)
+		b.fail(table, err)
 		return
 	}
 	closing := false
 	for {
-		if !closing && nw.Quiescent() && len(proto.pending) == 0 {
+		if !closing && table.live == 0 && nw.Quiescent() {
 			// Idle: block until there is work or the bridge closes.
 			select {
 			case o := <-b.submit:
-				proto.issue(env, o)
+				bp.Issue(env, o.node, table.add(o), o.op)
 			case <-b.done:
 				closing = true
 			}
 		}
-		// Opportunistically drain every waiting submission before the
-		// round, so concurrent sessions contend inside the simulation
-		// (queued at the root's capacity) rather than in this channel.
-		for !closing {
-			select {
-			case o := <-b.submit:
-				proto.issue(env, o)
-				continue
-			default:
-			}
-			break
-		}
-		if closing && nw.Quiescent() && len(proto.pending) == 0 {
-			// Fail any submission still buffered (Close repeats this
-			// drain once the pump is gone, so nothing accepted under the
-			// closeMu fence is ever left without a Completion).
-			for {
-				select {
-				case o := <-b.submit:
-					o.out <- countq.Completion{Op: o.op, Err: errBridgeClosed}
-					if o.settled != nil {
-						o.settled()
-					}
-				default:
-					return
+		if !closing {
+			// Drain every waiting submission in batches before the round,
+			// so concurrent sessions contend inside the simulation (queued
+			// at the protocol's capacity) rather than in this channel.
+			for n := len(b.submit); n > 0; n = len(b.submit) {
+				for i := 0; i < n; i++ {
+					o := <-b.submit
+					bp.Issue(env, o.node, table.add(o), o.op)
 				}
 			}
 		}
+		if table.live == 0 && nw.Quiescent() {
+			if closing {
+				// Fail any submission still buffered (Close repeats this
+				// drain once the pump is gone, so nothing accepted under
+				// the closeMu fence is ever left without a Completion).
+				b.drainClosed()
+				return
+			}
+			// Everything submitted was granted without routing (a
+			// protocol fast path, e.g. arrow's local tail): nothing to
+			// step, so spend no hop latency and go back to idle.
+			continue
+		}
 		b.sleepHop()
 		if err := nw.Step(); err != nil {
-			b.fail(proto, err)
+			b.fail(table, err)
 			return
 		}
+		st := nw.Stats()
+		b.simRounds.Store(int64(st.Rounds))
+		b.simMsgs.Store(int64(st.MessagesSent))
 		if !closing {
 			// Re-check shutdown so a Close with an idle network exits
 			// promptly even while sessions keep the submit channel empty.
@@ -357,17 +430,26 @@ func (b *Bridge) pump(g *graph.Graph, tr *tree.Tree) {
 	}
 }
 
-// fail resolves everything pending with err and then answers every further
-// submission with it until the bridge is closed.
-func (b *Bridge) fail(proto *bridgeProto, err error) {
-	proto.failAll(err)
+// drainClosed fails whatever is still buffered at shutdown.
+func (b *Bridge) drainClosed() {
 	for {
 		select {
 		case o := <-b.submit:
-			o.out <- countq.Completion{Op: o.op, Err: err}
-			if o.settled != nil {
-				o.settled()
-			}
+			settle(o, countq.Completion{Op: o.op, Err: errBridgeClosed})
+		default:
+			return
+		}
+	}
+}
+
+// fail resolves everything pending with err and then answers every further
+// submission with it until the bridge is closed.
+func (b *Bridge) fail(table *grantTable, err error) {
+	table.failAll(err)
+	for {
+		select {
+		case o := <-b.submit:
+			settle(o, countq.Completion{Op: o.op, Err: err})
 		case <-b.done:
 			return
 		}
@@ -377,6 +459,8 @@ func (b *Bridge) fail(proto *bridgeProto, err error) {
 // sleepHop spends one hop latency of wall time. Short latencies spin with
 // Gosched (time.Sleep's timer floor would inflate sub-50µs hops by an
 // order of magnitude); long ones sleep.
+//
+//countq:hotpath clocks=2
 func (b *Bridge) sleepHop() {
 	d := b.cfg.HopLat
 	switch {
@@ -395,19 +479,31 @@ func (b *Bridge) sleepHop() {
 // bridgeSession is one worker's conversation with the bridge. Owned by one
 // goroutine, like every Session.
 type bridgeSession struct {
-	b           *Bridge
-	node        int
-	out         chan countq.Completion
+	b    *Bridge
+	node int
+	out  chan countq.Completion
+	// reply serves every synchronous round trip of this session — one
+	// op is in flight at a time, so the channel is reused instead of
+	// allocated per op. When a round trip abandons its completion (ctx
+	// cancellation, bridge shutdown race) the channel is tainted to nil:
+	// the straggler completion lands harmlessly in the old channel's
+	// buffer and the next round trip makes a fresh one.
+	reply       chan countq.Completion
 	outstanding atomic.Int64
 }
 
 // errBridgeClosed reports operations against a closed bridge.
 var errBridgeClosed = fmt.Errorf("sim: bridge is closed")
 
-// roundTrip submits op on a fresh reply channel and blocks for its
+// roundTrip submits op on the session's reply channel and blocks for its
 // completion — the synchronous view of the asynchronous protocol.
+//
+//countq:hotpath
 func (s *bridgeSession) roundTrip(ctx context.Context, op countq.Op) (int64, error) {
-	reply := make(chan countq.Completion, 1)
+	reply := s.reply
+	if reply == nil {
+		reply = s.renewReply()
+	}
 	if err := s.send(ctx, bridgeOp{node: s.node, op: op, out: reply}); err != nil {
 		return 0, err
 	}
@@ -416,7 +512,10 @@ func (s *bridgeSession) roundTrip(ctx context.Context, op countq.Op) (int64, err
 		return c.Value, c.Err
 	case <-ctx.Done():
 		// The operation was accepted and will still execute; its grant is
-		// abandoned (see AsyncSession's contract on cancellation).
+		// abandoned (see AsyncSession's contract on cancellation) and the
+		// reply channel with it, so the straggler can't leak into a later
+		// round trip.
+		s.reply = nil
 		return 0, ctx.Err()
 	case <-s.b.pumpExit:
 		// The pump exited; prefer a completion that beat it out the door.
@@ -424,15 +523,25 @@ func (s *bridgeSession) roundTrip(ctx context.Context, op countq.Op) (int64, err
 		case c := <-reply:
 			return c.Value, c.Err
 		default:
+			s.reply = nil
 			return 0, errBridgeClosed
 		}
 	}
 }
 
+// renewReply replaces an abandoned reply channel — the cold path after a
+// cancelled round trip.
+func (s *bridgeSession) renewReply() chan countq.Completion {
+	s.reply = make(chan countq.Completion, 1)
+	return s.reply
+}
+
 // Inc implements countq.Session (counting bridges only).
+//
+//countq:hotpath
 func (s *bridgeSession) Inc(ctx context.Context) (int64, error) {
 	if s.b.cfg.Queue {
-		return 0, fmt.Errorf("sim: Inc on a queue bridge session: %w", countq.ErrUnsupported)
+		return 0, s.wrongKind(countq.Op{Kind: countq.OpInc})
 	}
 	return s.roundTrip(ctx, countq.Op{Kind: countq.OpInc, N: 1})
 }
@@ -442,7 +551,7 @@ func (s *bridgeSession) Inc(ctx context.Context) (int64, error) {
 // exactly one coordination round.
 func (s *bridgeSession) IncN(ctx context.Context, n int64) (int64, error) {
 	if s.b.cfg.Queue {
-		return 0, fmt.Errorf("sim: IncN on a queue bridge session: %w", countq.ErrUnsupported)
+		return 0, s.wrongKind(countq.Op{Kind: countq.OpInc})
 	}
 	if n < 1 {
 		return 0, fmt.Errorf("sim: IncN(%d): block size must be ≥ 1", n)
@@ -454,25 +563,43 @@ func (s *bridgeSession) IncN(ctx context.Context, n int64) (int64, error) {
 }
 
 // Enqueue implements countq.Session (queue bridges only).
+//
+//countq:hotpath
 func (s *bridgeSession) Enqueue(ctx context.Context, id int64) (int64, error) {
 	if !s.b.cfg.Queue {
-		return 0, fmt.Errorf("sim: Enqueue on a counter bridge session: %w", countq.ErrUnsupported)
+		return 0, s.wrongKind(countq.Op{Kind: countq.OpEnqueue})
 	}
 	if int64(int(id)) != id || id < 0 {
-		return 0, fmt.Errorf("sim: Enqueue id %d outside the message payload range", id)
+		return 0, s.badID(id)
 	}
 	return s.roundTrip(ctx, countq.Op{Kind: countq.OpEnqueue, ID: id})
+}
+
+// wrongKind reports an operation against the wrong bridge side.
+func (s *bridgeSession) wrongKind(op countq.Op) error {
+	side := "counter"
+	if s.b.cfg.Queue {
+		side = "queue"
+	}
+	return fmt.Errorf("sim: %v on a %s bridge session: %w", op.Kind, side, countq.ErrUnsupported)
+}
+
+// badID reports an enqueue id outside the message payload range.
+func (s *bridgeSession) badID(id int64) error {
+	return fmt.Errorf("sim: Enqueue id %d outside the message payload range", id)
 }
 
 // Submit implements countq.AsyncSession: the operation is queued for
 // injection and its Completion arrives on Completions. An error means the
 // operation was not accepted.
+//
+//countq:hotpath
 func (s *bridgeSession) Submit(ctx context.Context, op countq.Op) error {
 	if s.b.cfg.Queue != (op.Kind == countq.OpEnqueue) {
-		return fmt.Errorf("sim: %v on a %s bridge session: %w", op.Kind, map[bool]string{true: "queue", false: "counter"}[s.b.cfg.Queue], countq.ErrUnsupported)
+		return s.wrongKind(op)
 	}
 	if op.Kind == countq.OpEnqueue && (int64(int(op.ID)) != op.ID || op.ID < 0) {
-		return fmt.Errorf("sim: Enqueue id %d outside the message payload range", op.ID)
+		return s.badID(op.ID)
 	}
 	if op.Kind == countq.OpInc && int64(int(op.N)) != op.N {
 		return fmt.Errorf("sim: IncN(%d): block size overflows the message payload", op.N)
@@ -484,7 +611,7 @@ func (s *bridgeSession) Submit(ctx context.Context, op countq.Op) error {
 		return fmt.Errorf("sim: bridge session pipeline full (%d operations outstanding)", bridgePipeline)
 	}
 	s.outstanding.Add(1)
-	if err := s.send(ctx, bridgeOp{node: s.node, op: op, out: s.out, settled: func() { s.outstanding.Add(-1) }}); err != nil {
+	if err := s.send(ctx, bridgeOp{node: s.node, op: op, out: s.out, sess: s}); err != nil {
 		s.outstanding.Add(-1)
 		return err
 	}
@@ -501,15 +628,23 @@ func (s *bridgeSession) Completions() <-chan countq.Completion {
 // session. The channel itself is never closed — consumers track their own
 // outstanding count.
 func (s *bridgeSession) Close() error {
-	for s.outstanding.Load() > 0 {
-		select {
-		case <-s.out:
-		case <-s.b.pumpExit:
-			return nil // pump gone; nothing more will arrive
-		case <-time.After(10 * time.Millisecond):
-			// outstanding is decremented after the push, so a brief wait
-			// between observing the count and the arrival is expected;
-			// loop and re-check.
+	if s.outstanding.Load() > 0 {
+		// outstanding is decremented after the completion push, so a brief
+		// wait between observing the count and the arrival is expected;
+		// re-check on a reused timer rather than allocating one per poll.
+		timer := time.NewTimer(10 * time.Millisecond)
+		defer timer.Stop()
+		for s.outstanding.Load() > 0 {
+			select {
+			case <-s.out:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-s.b.pumpExit:
+				return nil // pump gone; nothing more will arrive
+			case <-timer.C:
+			}
+			timer.Reset(10 * time.Millisecond)
 		}
 	}
 	for {

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/countq"
+	"repro/internal/tree"
+)
+
+// The central bridge protocol: every operation routes to the spanning-tree
+// root, which assigns counts (or remembers the queue tail) and routes
+// grants back. It is the paper's naive baseline — the root's receive
+// capacity serializes all n-1 leaves, so the star hub degrades as Θ(n²) —
+// and the contrast target for the distributed protocols registered by
+// internal/arrow and internal/counting.
+
+const (
+	bkReq   = 101 // A = token, B = origin node, C = block size or op id
+	bkGrant = 102 // A = token, B = origin node, C = count or predecessor
+)
+
+// centralProto implements BridgeProtocol with a single point of
+// serialization at the root.
+type centralProto struct {
+	router *tree.Router
+	root   int
+	queue  bool
+	next   int64 // counter high-water mark at the root
+	last   int64 // queue predecessor at the root
+	grants Grants
+}
+
+func newCentralProto(tr *tree.Tree, queue bool, grants Grants) *centralProto {
+	return &centralProto{
+		router: tr.NewRouter(),
+		root:   tr.Root(),
+		queue:  queue,
+		last:   countq.Head,
+		grants: grants,
+	}
+}
+
+func (p *centralProto) Start(*Env, int) {}
+
+// Issue injects an operation at its session's node: root-adjacent state is
+// never touched directly — even a root-co-located op would pay the message
+// round trip, but sessions are only assigned to non-root nodes.
+//
+//countq:hotpath
+func (p *centralProto) Issue(env *Env, node int, token int, op countq.Op) {
+	payload := int(op.N)
+	if p.queue {
+		payload = int(op.ID)
+	}
+	env.Send(node, p.router.NextHop(node, p.root), Message{Kind: bkReq, A: token, B: node, C: payload})
+}
+
+//countq:hotpath
+func (p *centralProto) Deliver(env *Env, node int, m Message) {
+	switch m.Kind {
+	case bkReq:
+		if node != p.root {
+			env.Send(node, p.router.NextHop(node, p.root), m)
+			return
+		}
+		var val int64
+		if p.queue {
+			val = p.last
+			p.last = int64(m.C)
+		} else {
+			n := int64(m.C)
+			if n < 1 {
+				n = 1
+			}
+			val = p.next + 1
+			p.next += n
+		}
+		env.Send(node, p.router.NextHop(node, m.B), Message{Kind: bkGrant, A: m.A, B: m.B, C: int(val)})
+	case bkGrant:
+		if node != m.B {
+			env.Send(node, p.router.NextHop(node, m.B), m)
+			return
+		}
+		p.grants.Grant(m.A, int64(m.C))
+	default:
+		failUnexpectedKind(env, m.Kind)
+	}
+}
+
+// failUnexpectedKind aborts the simulation on a message no protocol
+// handler claims — kept out of line so annotated Deliver bodies stay free
+// of cold fmt work.
+func failUnexpectedKind(env *Env, kind int) {
+	env.Fail(fmt.Errorf("sim: bridge got unexpected message kind %d", kind))
+}

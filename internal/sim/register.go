@@ -16,12 +16,19 @@ import (
 // routed message round trip, not a synchronous call — so they have no
 // legacy Counter/Queuer view and are driven exclusively through sessions
 // (which is the point: this backend is expressible only in the v2 API).
+//
+// This file registers the central-protocol bridges; the distributed
+// protocols register their own specs (sim-arrow-queue in internal/arrow,
+// sim-tree-counter in internal/counting) through BridgeConfig.Proto,
+// declaring the same option vocabulary so `countq ls` reads uniformly.
 func init() {
 	params := []countq.ParamInfo{
 		{Name: "hoplat", Default: "1us", Doc: "wall-clock cost of one simulated round (one message hop); 0 = free-running"},
 		{Name: "nodes", Default: "9", Doc: "network size (root + leaves; sessions pin round-robin to non-root nodes)"},
 		{Name: "topo", Default: "star", Doc: "topology: star (hub contention) | list (diameter) | mesh2d"},
 		{Name: "cap", Default: "1", Doc: "per-node per-round send/receive capacity — the paper's c"},
+		{Name: "jitter", Default: "0", Doc: "max per-message link delay in rounds (0 = deterministic unit delay)"},
+		{Name: "seed", Default: "1", Doc: "seed for the jitter delay model (ignored when jitter=0)"},
 	}
 	parse := func(o countq.Options, queue bool) (countq.Structure, error) {
 		cfg := BridgeConfig{
@@ -30,6 +37,10 @@ func init() {
 			HopLat:   o.Duration("hoplat", time.Microsecond),
 			Capacity: o.Int("cap", 0),
 			Queue:    queue,
+		}
+		seed := o.Int("seed", 1)
+		if jitter := o.Int("jitter", 0); jitter > 0 {
+			cfg.Delay = JitterDelay{Seed: int64(seed), Max: jitter}
 		}
 		if err := o.Err(); err != nil {
 			return nil, err
