@@ -362,6 +362,102 @@ func BenchmarkSimBridge(b *testing.B) {
 	}
 }
 
+// grantAtIssueProto grants every operation the moment Issue runs, routing
+// zero messages — a round trip through it exercises only the bridge
+// transport: submit-lane push, pump lane sweep, grant-ring (or completion
+// buffer) return and the session's spin-then-park wait. BenchmarkSimBridge
+// minus this is the cost of the protocol's simulated rounds; this alone is
+// the transport floor the ring rewrite is gated on, and it must stay at
+// 0 B/op.
+type grantAtIssueProto struct {
+	grants sim.Grants
+	next   int64
+}
+
+func (p *grantAtIssueProto) Start(*sim.Env, int) {}
+
+func (p *grantAtIssueProto) Issue(env *sim.Env, node int, token int, op countq.Op) {
+	p.next++
+	p.grants.Grant(token, p.next)
+}
+
+func (p *grantAtIssueProto) Deliver(*sim.Env, int, sim.Message) {}
+
+// BenchmarkBridgeTransport measures the bridge transport in isolation —
+// the protocol grants at Issue, so no simulated message ever travels —
+// synchronously and through an 8-deep async pipeline.
+func BenchmarkBridgeTransport(b *testing.B) {
+	for _, bc := range []struct {
+		name     string
+		inflight int
+	}{{"sync", 0}, {"inflight8", 8}} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			br, err := sim.NewBridge(sim.BridgeConfig{
+				HopLat: 0,
+				Proto: func(g *graph.Graph, tr *tree.Tree, grants sim.Grants) (sim.BridgeProtocol, error) {
+					return &grantAtIssueProto{grants: grants}, nil
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer br.Close()
+			sess, err := br.NewSession()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			ctx := context.Background()
+			if bc.inflight == 0 {
+				// Warm the lane, grant ring and park/wake state so the
+				// steady state is what gets timed.
+				for i := 0; i < 64; i++ {
+					if _, err := sess.Inc(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sess.Inc(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return
+			}
+			as := sess.(countq.AsyncSession)
+			for i := 0; i < 64; i++ {
+				if err := as.Submit(ctx, countq.Op{Kind: countq.OpInc, N: 1}); err != nil {
+					b.Fatal(err)
+				}
+				if c := <-as.Completions(); c.Err != nil {
+					b.Fatal(c.Err)
+				}
+			}
+			b.ResetTimer()
+			outstanding := 0
+			for i := 0; i < b.N; i++ {
+				for outstanding >= bc.inflight {
+					if c := <-as.Completions(); c.Err != nil {
+						b.Fatal(c.Err)
+					}
+					outstanding--
+				}
+				if err := as.Submit(ctx, countq.Op{Kind: countq.OpInc, N: 1}); err != nil {
+					b.Fatal(err)
+				}
+				outstanding++
+			}
+			for outstanding > 0 {
+				if c := <-as.Completions(); c.Err != nil {
+					b.Fatal(c.Err)
+				}
+				outstanding--
+			}
+		})
+	}
+}
+
 // echoProto saturates a star: the hub echoes every message back to its
 // sender and each leaf immediately re-requests, so every round moves
 // 2*(n-1) messages through the engine's deliver/receive/send machinery

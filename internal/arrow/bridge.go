@@ -117,6 +117,7 @@ func init() {
 			{Name: "cap", Default: "1", Doc: "per-node per-round send/receive capacity — the paper's c"},
 			{Name: "jitter", Default: "0", Doc: "max per-message link delay in rounds (0 = deterministic unit delay)"},
 			{Name: "seed", Default: "1", Doc: "seed for the jitter delay model (ignored when jitter=0)"},
+			{Name: "pipeline", Default: "1024", Doc: "per-session transport depth: submit-lane capacity, completion buffer and outstanding-operation bound"},
 		},
 		Caps: countq.CapAsync,
 		New: func(o countq.Options) (countq.Structure, error) {
@@ -125,6 +126,7 @@ func init() {
 				Nodes:    o.Int("nodes", 0),
 				HopLat:   o.Duration("hoplat", time.Microsecond),
 				Capacity: o.Int("cap", 0),
+				Pipeline: o.Int("pipeline", 0),
 				Queue:    true,
 				Proto:    newQueueBridge,
 			}

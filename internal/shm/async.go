@@ -8,13 +8,15 @@ import (
 	"sync/atomic"
 
 	"repro/countq"
+	"repro/internal/ring"
 )
 
 // This file holds the native-AsyncSession backends: structures whose
 // sessions are driven through Submit/Completions *by construction*, not
 // through the synchronous adapter. Both ride one flat-combining engine:
 //
-//   - submissions land in a per-session SPSC ring (the "slot array"),
+//   - submissions land in a per-session SPSC lane (internal/ring — the
+//     same audited ring the sim bridge's transport runs on),
 //   - one session at a time becomes the combiner (mutex TryLock),
 //   - the combiner sweeps every ring, applies the whole batch to the
 //     shared structure with a single atomic RMW, and fires completions
@@ -46,24 +48,15 @@ type asyncEntry struct {
 	async bool
 }
 
-// asyncSlot is one session's SPSC ring: the session publishes at tail, the
-// combiner consumes up to tail and advances head. Entries are copied out
-// before head moves, so the producer never overwrites a live entry.
-type asyncSlot struct {
-	ring []asyncEntry
-	head atomic.Int64
-	tail atomic.Int64
-	_    [48]byte // keep neighbouring slots' cursors off one cache line
-}
-
 // combineCore is the flat-combining engine shared by the async funnel
-// counter and the elimination queue. apply sees each combined batch in
-// submission-sweep order and must deliver every entry's completion.
+// counter and the elimination queue. Each session publishes into a
+// private ring.Lanes lane; the combiner sweeps a snapshot of all lanes.
+// apply sees each combined batch in submission-sweep order and must
+// deliver every entry's completion.
 type combineCore struct {
 	mu      sync.Mutex // combiner lock: TryLock only, never Lock
 	pending atomic.Int64
-	slots   atomic.Pointer[[]*asyncSlot]
-	regMu   sync.Mutex
+	lanes   *ring.Lanes[asyncEntry]
 	scratch []asyncEntry // combiner-owned batch buffer, reused across sweeps
 	ringCap int
 	spin    int
@@ -71,37 +64,12 @@ type combineCore struct {
 }
 
 func newCombineCore(pipeline, spin int, apply func([]asyncEntry)) *combineCore {
-	c := &combineCore{ringCap: pipeline, spin: spin, apply: apply}
-	empty := make([]*asyncSlot, 0)
-	c.slots.Store(&empty)
-	return c
-}
-
-// register adds a session's slot to the sweep set (copy-on-write, so the
-// combiner reads a consistent snapshot without taking the registry lock).
-func (c *combineCore) register(sl *asyncSlot) {
-	c.regMu.Lock()
-	old := *c.slots.Load()
-	next := make([]*asyncSlot, len(old)+1)
-	copy(next, old)
-	next[len(old)] = sl
-	c.slots.Store(&next)
-	c.regMu.Unlock()
-}
-
-// unregister removes a closed session's slot so phase after phase of
-// sessions does not grow the sweep set without bound.
-func (c *combineCore) unregister(sl *asyncSlot) {
-	c.regMu.Lock()
-	old := *c.slots.Load()
-	next := make([]*asyncSlot, 0, len(old))
-	for _, s := range old {
-		if s != sl {
-			next = append(next, s)
-		}
+	return &combineCore{
+		lanes:   ring.NewLanes[asyncEntry](),
+		ringCap: pipeline,
+		spin:    spin,
+		apply:   apply,
 	}
-	c.slots.Store(&next)
-	c.regMu.Unlock()
 }
 
 // combine makes the calling goroutine the combiner if nobody else is, and
@@ -131,28 +99,17 @@ func (c *combineCore) combine() {
 //countq:hotpath clocks=0
 func (c *combineCore) sweep() {
 	for c.pending.Load() > 0 {
-		slots := *c.slots.Load()
 		c.scratch = c.scratch[:0]
-		consumed := int64(0)
-		for _, sl := range slots {
-			h, t := sl.head.Load(), sl.tail.Load()
-			if t == h {
-				continue
-			}
-			n := int64(len(sl.ring))
-			for i := h; i < t; i++ {
-				c.scratch = append(c.scratch, sl.ring[i%n])
-			}
-			sl.head.Store(t)
-			consumed += t - h
+		for _, lane := range c.lanes.Snapshot() {
+			c.scratch = lane.DrainTo(c.scratch)
 		}
-		if consumed == 0 {
+		if len(c.scratch) == 0 {
 			// pending > 0 but nothing published yet: a submitter is between
 			// its increment and its ring publish. Yield and look again.
 			runtime.Gosched()
 			continue
 		}
-		c.pending.Add(-consumed)
+		c.pending.Add(-int64(len(c.scratch)))
 		c.apply(c.scratch)
 	}
 }
@@ -172,7 +129,7 @@ func deliver(e *asyncEntry, v int64) {
 // the combiner — this goroutine or another — fires the completion.
 type combineSession struct {
 	core    *combineCore
-	slot    *asyncSlot
+	slot    *ring.SPSC[asyncEntry]
 	kinds   countq.Kind
 	out     chan countq.Completion
 	syncOut chan countq.Completion
@@ -187,30 +144,27 @@ func newCombineSession(core *combineCore, kinds countq.Kind) *combineSession {
 	s := &combineSession{
 		core:    core,
 		kinds:   kinds,
-		slot:    &asyncSlot{ring: make([]asyncEntry, core.ringCap)},
+		slot:    core.lanes.NewLane(core.ringCap),
 		out:     make(chan countq.Completion, core.ringCap),
 		syncOut: make(chan countq.Completion, 1),
 	}
-	core.register(s.slot)
 	return s
 }
 
 var errSessionClosed = fmt.Errorf("shm: session is closed")
 
-// publish parks one entry in the session's ring, reporting false when the
-// ring is full (only possible with unconsumed async submissions ahead).
-// pending is incremented before the tail moves — the stranding protocol.
+// publish parks one entry in the session's lane, reporting false when the
+// lane is full (only possible with unconsumed async submissions ahead).
+// pending is incremented before the tail moves — the stranding protocol —
+// and rolled back on a full lane before anything was published.
 //
 //countq:hotpath clocks=0
 func (s *combineSession) publish(e asyncEntry) bool {
-	sl := s.slot
-	h, t := sl.head.Load(), sl.tail.Load()
-	if t-h >= int64(len(sl.ring)) {
+	s.core.pending.Add(1)
+	if !s.slot.Push(e) {
+		s.core.pending.Add(-1)
 		return false
 	}
-	s.core.pending.Add(1)
-	sl.ring[t%int64(len(sl.ring))] = e
-	sl.tail.Store(t + 1)
 	return true
 }
 
@@ -358,7 +312,7 @@ func (s *combineSession) Close() error {
 		select {
 		case <-s.out:
 		default:
-			s.core.unregister(s.slot)
+			s.core.lanes.Remove(s.slot)
 			return nil
 		}
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/countq"
 	"repro/internal/graph"
+	"repro/internal/ring"
 	"repro/internal/tree"
 )
 
@@ -37,10 +38,46 @@ import (
 // round trip), BatchSession (one request grants a block), and
 // AsyncSession (Submit/Completions — the pipeline that overlaps round
 // trips, which no synchronous interface could express).
+//
+// Transport (see DESIGN.md, "Bridge transport"): sessions publish
+// operations into private SPSC lanes (internal/ring) that the pump sweeps
+// once per round in session-registration order, and sync grants return
+// through a per-session completion ring with an eventcount park/wake —
+// the uncontended sync round trip spins through the pump's turn instead
+// of paying two channel handoffs and a scheduler wakeup per op.
 
-// bridgePipeline is the per-session completion buffer and the cap on
-// operations one session may keep outstanding.
-const bridgePipeline = 1024
+// defaultPipeline is the default per-session transport depth: the submit
+// lane capacity, the async completion buffer, and the cap on operations
+// one session may keep outstanding. Override per spec with pipeline=.
+const defaultPipeline = 1024
+
+// maxPipeline bounds pipeline= so a typo cannot ask for a gigabyte of
+// lanes (mirrors the shm combining backends' bound).
+const maxPipeline = 1 << 15
+
+// syncWindow sizes the per-session sync-grant ring: one live round trip
+// plus up to syncWindow-1 abandoned stragglers whose grants are still in
+// flight after their round trips were cancelled.
+const syncWindow = 8
+
+// syncSpin is how many scheduler yields a sync round trip spends polling
+// its grant ring before parking on the eventcount — enough for the pump
+// to take its turn on a busy machine, so the steady uncontended path
+// never parks.
+const syncSpin = 128
+
+// pumpIdleSpin is how many scheduler yields an idle pump spends polling
+// its lanes before parking — back-to-back sync ops from a spinning
+// session land within the budget, so neither side pays a wakeup.
+const pumpIdleSpin = 128
+
+// freeRunYield is how many back-to-back rounds a free-running (hoplat=0)
+// pump steps before yielding the processor once. Short grant chains
+// (a few rounds) never yield mid-chain, which is what makes the spinning
+// round trip two switches total on one core; a protocol that withholds a
+// grant for many rounds still lets waiters run every freeRunYield rounds
+// instead of starving them until the runtime preempts.
+const freeRunYield = 64
 
 // Grants is the completion sink a BridgeProtocol resolves operations
 // into: Grant completes the operation issued under token with the granted
@@ -93,6 +130,10 @@ type BridgeConfig struct {
 	// Capacity is the per-node per-round send/receive budget, the paper's
 	// c (default 1).
 	Capacity int
+	// Pipeline is the per-session transport depth: the submit lane
+	// capacity, the async completion buffer, and the bound on operations
+	// one session may keep outstanding (default 1024, max 32768).
+	Pipeline int
 	// Queue selects queuing semantics (sessions serve Enqueue) instead of
 	// counting semantics (sessions serve Inc).
 	Queue bool
@@ -108,46 +149,75 @@ type BridgeConfig struct {
 // finishes.
 type Bridge struct {
 	cfg      BridgeConfig
-	submit   chan bridgeOp
-	done     chan struct{} // closed by Close: stop accepting, drain, exit
-	pumpExit chan struct{} // closed when the pump has exited
-	stop     sync.Once
-	nextLeaf atomic.Uint64
-	leaves   []int
+	pipeline int
+	// sub aggregates the per-session submit lanes; the pump sweeps a
+	// snapshot of them once per round and parks on the aggregate's
+	// eventcount when everything is idle.
+	sub        *ring.Lanes[bridgeOp]
+	scratch    []bridgeOp    // pump-owned sweep buffer, reused across rounds
+	spinRounds int           // pump-owned: free-running rounds since last yield
+	done       chan struct{} // closed by Close: stop accepting, drain, exit
+	pumpExit   chan struct{} // closed when the pump has exited
+	stop       sync.Once
+	drainOnce  sync.Once
+	nextLeaf   atomic.Uint64
+	leaves     []int
 	// Simulated-time mirror of the network stats, refreshed by the pump
 	// once per round so callers can report simulated rounds and message
 	// counts alongside wall latency without touching pump-owned state.
 	simRounds atomic.Int64
 	simMsgs   atomic.Int64
 	// closeMu fences submission against Close: senders hold the read
-	// side across the closed-flag check and the channel send, so once
-	// Close holds the write side no send can be in flight — every
-	// accepted operation is then either with the pump or in the buffer
-	// Close drains, and the AsyncSession contract (one Completion per
-	// accepted Submit) holds through shutdown.
+	// side across the closed-flag check and the lane publish, so once
+	// Close holds the write side no publish can be in flight — every
+	// accepted operation is then either with the pump or in a lane the
+	// close path sweeps, and the AsyncSession contract (one Completion
+	// per accepted Submit) holds through shutdown.
 	closeMu sync.RWMutex
 	closed  bool
 }
 
 // bridgeOp is one operation in flight from a session to the pump.
 type bridgeOp struct {
-	node int
-	op   countq.Op
-	out  chan<- countq.Completion
-	sess *bridgeSession // non-nil for async ops: outstanding accounting
+	node  int
+	op    countq.Op
+	sess  *bridgeSession
+	seq   uint64 // sync round-trip sequence; 0 for async ops
+	async bool
 }
 
-// settle delivers c for o and releases the session's outstanding slot.
-// Completion channels are always buffered deep enough (per-session reply
-// channels hold 1; pipelines cap outstanding at their buffer), so this
-// never blocks the pump.
+// syncGrant is one granted sync round trip riding the session's grant
+// ring back from the pump.
+type syncGrant struct {
+	seq uint64
+	val int64
+	err error
+}
+
+// settle resolves o with c: async completions go to the session's
+// completion channel (buffered to the pipeline depth, so this never
+// blocks the pump); sync grants ride the session's grant ring and wake
+// the parked waiter. A sync grant whose round trip was already abandoned
+// (ctx cancellation) is dropped here — the drop is counted so the
+// session's straggler window stays balanced.
 //
 //countq:hotpath
 func settle(o bridgeOp, c countq.Completion) {
-	o.out <- c
-	if o.sess != nil {
-		o.sess.outstanding.Add(-1)
+	s := o.sess
+	if o.async {
+		s.out <- c
+		s.outstanding.Add(-1)
+		return
 	}
+	if o.seq <= s.abandonSeq.Load() {
+		s.dropped.Add(1)
+		return
+	}
+	// The push cannot fail: the ring holds one live round trip plus
+	// abandoned stragglers, and waitStragglers keeps those under
+	// syncWindow-1 before a new op is sent.
+	s.grants.Push(syncGrant{seq: o.seq, val: c.Value, err: c.Err})
+	s.ev.Wake()
 }
 
 // grantTable is the pump's pending-operation store: a slot slice indexed
@@ -182,7 +252,7 @@ func (t *grantTable) Grant(tok int, val int64) {
 		return
 	}
 	o := t.slots[tok]
-	if o.out == nil {
+	if o.sess == nil {
 		return
 	}
 	t.slots[tok] = bridgeOp{}
@@ -196,7 +266,7 @@ func (t *grantTable) Grant(tok int, val int64) {
 func (t *grantTable) failAll(err error) {
 	for tok := range t.slots {
 		o := t.slots[tok]
-		if o.out == nil {
+		if o.sess == nil {
 			continue
 		}
 		t.slots[tok] = bridgeOp{}
@@ -240,6 +310,16 @@ func NewBridge(cfg BridgeConfig) (*Bridge, error) {
 	if cfg.HopLat < 0 {
 		return nil, fmt.Errorf("sim: negative hop latency %v", cfg.HopLat)
 	}
+	pipeline := cfg.Pipeline
+	if pipeline == 0 {
+		pipeline = defaultPipeline
+	}
+	if pipeline < 1 {
+		return nil, fmt.Errorf("sim: bridge pipeline %d < 1", cfg.Pipeline)
+	}
+	if pipeline > maxPipeline {
+		return nil, fmt.Errorf("sim: bridge pipeline %d > %d", cfg.Pipeline, maxPipeline)
+	}
 	tr, err := tree.BFSTree(g, 0)
 	if err != nil {
 		return nil, fmt.Errorf("sim: bridge spanning tree: %w", err)
@@ -252,7 +332,8 @@ func NewBridge(cfg BridgeConfig) (*Bridge, error) {
 	}
 	b := &Bridge{
 		cfg:      cfg,
-		submit:   make(chan bridgeOp, 256),
+		pipeline: pipeline,
+		sub:      ring.NewLanes[bridgeOp](),
 		done:     make(chan struct{}),
 		pumpExit: make(chan struct{}),
 		leaves:   leaves,
@@ -299,7 +380,7 @@ func (b *Bridge) SimStats() (rounds, messages int64) {
 }
 
 // Close stops the pump after it drains every accepted operation, then
-// fails anything that raced into the submit buffer against the shutdown.
+// fails anything that raced into the submit lanes against the shutdown.
 // Safe to call more than once.
 func (b *Bridge) Close() error {
 	b.closeMu.Lock()
@@ -307,22 +388,19 @@ func (b *Bridge) Close() error {
 	b.closeMu.Unlock()
 	b.stop.Do(func() { close(b.done) })
 	<-b.pumpExit
-	// No sender can be mid-send now (the closed flag is checked under
-	// closeMu before every send, and the pump stayed alive until the
-	// flag flipped), so the buffer holds only operations that beat the
-	// flag; complete them with the close error.
-	for {
-		select {
-		case o := <-b.submit:
-			settle(o, countq.Completion{Op: o.op, Err: errBridgeClosed})
-		default:
-			return nil
-		}
-	}
+	// No sender can be mid-publish now (the closed flag is checked under
+	// closeMu before every publish, and the pump stayed alive until the
+	// flag flipped), so the lanes hold only operations that beat the
+	// flag; complete them with the close error. The pump is gone, so this
+	// goroutine is the lanes' consumer; drainOnce keeps concurrent Close
+	// calls from sweeping the same lanes twice.
+	b.drainOnce.Do(func() { b.failLanes(errBridgeClosed) })
+	return nil
 }
 
-// send hands an operation to the pump, fenced against Close. An error
-// means the operation was not accepted and no Completion will arrive.
+// send publishes an operation into the session's lane, fenced against
+// Close. An error means the operation was not accepted and no Completion
+// will arrive.
 //
 //countq:hotpath
 func (s *bridgeSession) send(ctx context.Context, o bridgeOp) error {
@@ -332,28 +410,34 @@ func (s *bridgeSession) send(ctx context.Context, o bridgeOp) error {
 		return errBridgeClosed
 	}
 	// The pump is alive for as long as this read lock is held (Close
-	// flips the flag before signalling it to exit), so a full buffer
-	// drains and this send cannot block indefinitely.
-	select {
-	case s.b.submit <- o:
-		s.b.closeMu.RUnlock()
-		return nil
-	case <-ctx.Done():
-		s.b.closeMu.RUnlock()
-		return ctx.Err()
+	// flips the flag before signalling it to exit), so a full lane
+	// drains and this publish cannot spin indefinitely.
+	for !s.lane.Push(o) {
+		if err := ctx.Err(); err != nil {
+			s.b.closeMu.RUnlock()
+			return err
+		}
+		s.b.sub.Wake()
+		runtime.Gosched()
 	}
+	s.b.sub.Wake()
+	s.b.closeMu.RUnlock()
+	return nil
 }
 
 // NewSession pins a new session to the next leaf node round-robin. Several
 // sessions may share a leaf; their operations are distinguished by token.
 func (b *Bridge) NewSession() (countq.Session, error) {
 	i := b.nextLeaf.Add(1) - 1
-	return &bridgeSession{
-		b:     b,
-		node:  b.leaves[int(i%uint64(len(b.leaves)))],
-		out:   make(chan countq.Completion, bridgePipeline),
-		reply: make(chan countq.Completion, 1),
-	}, nil
+	s := &bridgeSession{
+		b:      b,
+		node:   b.leaves[int(i%uint64(len(b.leaves)))],
+		out:    make(chan countq.Completion, b.pipeline),
+		grants: ring.New[syncGrant](syncWindow),
+	}
+	s.ev.Init()
+	s.lane = b.sub.NewLane(b.pipeline)
+	return s, nil
 }
 
 // pump is the network clock: it injects submitted operations, advances one
@@ -364,9 +448,30 @@ func (b *Bridge) pump(nw *Network, bp BridgeProtocol, table *grantTable) {
 	b.pumpLoop(nw, bp, table)
 }
 
+// inject sweeps every session lane once — in lane-registration order,
+// which is session-creation order, so injection stays deterministic for a
+// fixed session set — and issues the swept batch into the protocol.
+//
+//countq:hotpath
+func (b *Bridge) inject(env *Env, bp BridgeProtocol, table *grantTable) int {
+	injected := 0
+	for _, lane := range b.sub.Snapshot() {
+		b.scratch = lane.DrainTo(b.scratch[:0])
+		for i := range b.scratch {
+			bp.Issue(env, b.scratch[i].node, table.add(b.scratch[i]), b.scratch[i].op)
+		}
+		injected += len(b.scratch)
+	}
+	return injected
+}
+
 // pumpLoop is the pump's steady state: allocation-free once the grant
-// table and the engine's buffers have grown to the workload's high-water
-// mark.
+// table, the scratch buffer and the engine's buffers have grown to the
+// workload's high-water mark. One lane sweep per round batch-injects
+// every waiting submission, so concurrent sessions contend inside the
+// simulation (queued at the protocol's capacity) rather than in the
+// transport; when everything is idle the pump spins briefly and then
+// parks on the lanes' eventcount.
 //
 //countq:hotpath
 func (b *Bridge) pumpLoop(nw *Network, bp BridgeProtocol, table *grantTable) {
@@ -376,40 +481,58 @@ func (b *Bridge) pumpLoop(nw *Network, bp BridgeProtocol, table *grantTable) {
 		return
 	}
 	closing := false
+	idle := 0
 	for {
-		if !closing && table.live == 0 && nw.Quiescent() {
-			// Idle: block until there is work or the bridge closes.
-			select {
-			case o := <-b.submit:
-				bp.Issue(env, o.node, table.add(o), o.op)
-			case <-b.done:
-				closing = true
-			}
-		}
-		if !closing {
-			// Drain every waiting submission in batches before the round,
-			// so concurrent sessions contend inside the simulation (queued
-			// at the protocol's capacity) rather than in this channel.
-			for n := len(b.submit); n > 0; n = len(b.submit) {
-				for i := 0; i < n; i++ {
-					o := <-b.submit
-					bp.Issue(env, o.node, table.add(o), o.op)
-				}
-			}
-		}
+		injected := b.inject(env, bp, table)
 		if table.live == 0 && nw.Quiescent() {
 			if closing {
-				// Fail any submission still buffered (Close repeats this
-				// drain once the pump is gone, so nothing accepted under
-				// the closeMu fence is ever left without a Completion).
-				b.drainClosed()
-				return
+				if injected == 0 {
+					// Closed, drained, quiescent: the lanes were empty on
+					// this very sweep and no publish can start once the
+					// closed flag is up, so exit. Close sweeps once more
+					// for operations that beat the flag.
+					return
+				}
+				continue
 			}
-			// Everything submitted was granted without routing (a
-			// protocol fast path, e.g. arrow's local tail): nothing to
-			// step, so spend no hop latency and go back to idle.
+			if injected > 0 {
+				// Everything injected was granted without routing (a
+				// protocol fast path, e.g. arrow's local tail): nothing to
+				// step, so spend no hop latency and sweep again.
+				idle = 0
+				continue
+			}
+			// Idle: spin a little (a spinning sync session's next op lands
+			// within the budget), then park on the eventcount.
+			select {
+			case <-b.done:
+				closing = true
+				continue
+			default:
+			}
+			if idle < pumpIdleSpin {
+				idle++
+				runtime.Gosched()
+				continue
+			}
+			b.sub.Prepare()
+			if b.inject(env, bp, table) > 0 {
+				// Work raced in before the parked flag was visible; its
+				// publisher saw no parked consumer and sent no signal.
+				b.sub.Unpark()
+				idle = 0
+				continue
+			}
+			select {
+			case <-b.sub.WakeChan():
+				idle = 0
+			case <-b.done:
+				b.sub.Unpark()
+				closing = true
+			}
 			continue
 		}
+		idle = 0
 		b.sleepHop()
 		if err := nw.Step(); err != nil {
 			b.fail(table, err)
@@ -420,7 +543,7 @@ func (b *Bridge) pumpLoop(nw *Network, bp BridgeProtocol, table *grantTable) {
 		b.simMsgs.Store(int64(st.MessagesSent))
 		if !closing {
 			// Re-check shutdown so a Close with an idle network exits
-			// promptly even while sessions keep the submit channel empty.
+			// promptly even while sessions keep the lanes empty.
 			select {
 			case <-b.done:
 				closing = true
@@ -430,14 +553,14 @@ func (b *Bridge) pumpLoop(nw *Network, bp BridgeProtocol, table *grantTable) {
 	}
 }
 
-// drainClosed fails whatever is still buffered at shutdown.
-func (b *Bridge) drainClosed() {
-	for {
-		select {
-		case o := <-b.submit:
-			settle(o, countq.Completion{Op: o.op, Err: errBridgeClosed})
-		default:
-			return
+// failLanes sweeps every session lane and resolves the swept operations
+// with err. Runs on whichever goroutine currently owns the consumer role
+// (the pump, or Close after the pump exited).
+func (b *Bridge) failLanes(err error) {
+	for _, lane := range b.sub.Snapshot() {
+		b.scratch = lane.DrainTo(b.scratch[:0])
+		for i := range b.scratch {
+			settle(b.scratch[i], countq.Completion{Op: b.scratch[i].op, Err: err})
 		}
 	}
 }
@@ -447,25 +570,40 @@ func (b *Bridge) drainClosed() {
 func (b *Bridge) fail(table *grantTable, err error) {
 	table.failAll(err)
 	for {
+		b.failLanes(err)
+		b.sub.Prepare()
+		b.failLanes(err) // re-sweep: a publish may have raced the parked flag
 		select {
-		case o := <-b.submit:
-			settle(o, countq.Completion{Op: o.op, Err: err})
+		case <-b.sub.WakeChan():
 		case <-b.done:
+			b.sub.Unpark()
+			// done closed ⟹ the closed flag is up and no publish is in
+			// flight; one final sweep leaves the lanes empty for Close.
+			b.failLanes(err)
 			return
 		}
 	}
 }
 
-// sleepHop spends one hop latency of wall time. Short latencies spin with
-// Gosched (time.Sleep's timer floor would inflate sub-50µs hops by an
-// order of magnitude); long ones sleep.
+// sleepHop spends one hop latency of wall time. Zero latency spends
+// nearly nothing — the pump runs rounds back to back, yielding only
+// every freeRunYield rounds, which on a loaded single-core box is what
+// lets a spinning session's short round trip finish in two scheduler
+// switches while still letting waiters run under a grant the protocol
+// holds across many rounds. Short latencies spin with Gosched
+// (time.Sleep's timer floor would inflate sub-50µs hops by an order of
+// magnitude); long ones sleep.
 //
 //countq:hotpath clocks=2
 func (b *Bridge) sleepHop() {
 	d := b.cfg.HopLat
 	switch {
 	case d <= 0:
-		runtime.Gosched()
+		b.spinRounds++
+		if b.spinRounds >= freeRunYield {
+			b.spinRounds = 0
+			runtime.Gosched()
+		}
 	case d < 50*time.Microsecond:
 		t0 := time.Now()
 		for time.Since(t0) < d {
@@ -481,59 +619,147 @@ func (b *Bridge) sleepHop() {
 type bridgeSession struct {
 	b    *Bridge
 	node int
+	// lane is the session's private submit ring; the pump sweeps it once
+	// per round.
+	lane *ring.SPSC[bridgeOp]
 	out  chan countq.Completion
-	// reply serves every synchronous round trip of this session — one
-	// op is in flight at a time, so the channel is reused instead of
-	// allocated per op. When a round trip abandons its completion (ctx
-	// cancellation, bridge shutdown race) the channel is tainted to nil:
-	// the straggler completion lands harmlessly in the old channel's
-	// buffer and the next round trip makes a fresh one.
-	reply       chan countq.Completion
+	// grants carries sync round-trip results back from the pump; ev is
+	// the parked-waiter signal for it. One op is live at a time (sessions
+	// are single-owner), so the ring holds that op's grant plus at most
+	// syncWindow-1 stragglers from abandoned round trips.
+	grants *ring.SPSC[syncGrant]
+	ev     ring.Event
+	// syncSeq numbers sync round trips; abandonSeq is the highest
+	// abandoned sequence, published to the pump so straggler grants are
+	// dropped at the source. abandoned/reaped/dropped balance the
+	// straggler window: abandoned counts cancelled round trips, reaped
+	// the stale grants this session discarded from its ring, dropped the
+	// ones the pump discarded before the push.
+	syncSeq     uint64
+	abandoned   int
+	reaped      int
+	dropped     atomic.Int64
+	abandonSeq  atomic.Uint64
 	outstanding atomic.Int64
 }
 
 // errBridgeClosed reports operations against a closed bridge.
 var errBridgeClosed = fmt.Errorf("sim: bridge is closed")
 
-// roundTrip submits op on the session's reply channel and blocks for its
-// completion — the synchronous view of the asynchronous protocol.
+// abandon records a cancelled round trip: its grant, when it arrives, is
+// dropped by the pump or reaped from the ring by a later round trip.
+func (s *bridgeSession) abandon(seq uint64) {
+	s.abandoned++
+	s.abandonSeq.Store(seq)
+}
+
+// waitStragglers keeps the sync-grant ring from overflowing after a burst
+// of cancellations: it blocks a new round trip until enough abandoned
+// grants have resolved (dropped or reaped) that the live grant plus every
+// straggler still in flight fits the ring. Cold — only runs after
+// syncWindow-1 round trips were cancelled with their grants unresolved.
+func (s *bridgeSession) waitStragglers(ctx context.Context) error {
+	for s.abandoned-s.reaped-int(s.dropped.Load()) >= syncWindow {
+		if _, ok := s.grants.Pop(); ok {
+			// Whatever is buffered here is stale: no round trip is live.
+			s.reaped++
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		select {
+		case <-s.b.pumpExit:
+			return errBridgeClosed
+		default:
+		}
+		runtime.Gosched()
+	}
+	return nil
+}
+
+// roundTrip submits op and blocks for its grant — the synchronous view of
+// the asynchronous protocol. The wait spins through the pump's turn
+// first (the uncontended path completes without parking), then parks on
+// the session eventcount.
 //
 //countq:hotpath
 func (s *bridgeSession) roundTrip(ctx context.Context, op countq.Op) (int64, error) {
-	reply := s.reply
-	if reply == nil {
-		reply = s.renewReply()
-	}
-	if err := s.send(ctx, bridgeOp{node: s.node, op: op, out: reply}); err != nil {
+	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	select {
-	case c := <-reply:
-		return c.Value, c.Err
-	case <-ctx.Done():
-		// The operation was accepted and will still execute; its grant is
-		// abandoned (see AsyncSession's contract on cancellation) and the
-		// reply channel with it, so the straggler can't leak into a later
-		// round trip.
-		s.reply = nil
-		return 0, ctx.Err()
-	case <-s.b.pumpExit:
-		// The pump exited; prefer a completion that beat it out the door.
+	// Whatever is buffered here is a straggler from an abandoned round
+	// trip (no round trip is live); reap before reusing the ring.
+	for {
+		if _, ok := s.grants.Pop(); !ok {
+			break
+		}
+		s.reaped++
+	}
+	if s.abandoned-s.reaped-int(s.dropped.Load()) >= syncWindow {
+		if err := s.waitStragglers(ctx); err != nil {
+			return 0, err
+		}
+	}
+	s.syncSeq++
+	seq := s.syncSeq
+	if err := s.send(ctx, bridgeOp{node: s.node, op: op, sess: s, seq: seq}); err != nil {
+		// Not accepted: no grant will ever carry this sequence, so it
+		// needs no abandon accounting.
+		return 0, err
+	}
+	spins := 0
+	for {
+		if g, ok := s.grants.Pop(); ok {
+			if g.seq == seq {
+				return g.val, g.err
+			}
+			s.reaped++
+			continue
+		}
+		if spins < syncSpin {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		s.ev.Prepare()
+		if g, ok := s.grants.Pop(); ok {
+			// The grant raced in before the parked flag was visible.
+			s.ev.Unpark()
+			if g.seq == seq {
+				return g.val, g.err
+			}
+			s.reaped++
+			spins = 0
+			continue
+		}
 		select {
-		case c := <-reply:
-			return c.Value, c.Err
-		default:
-			s.reply = nil
+		case <-s.ev.WakeChan():
+			spins = 0
+		case <-ctx.Done():
+			// The operation was accepted and will still execute; its grant
+			// is abandoned (see AsyncSession's contract on cancellation)
+			// and dropped or reaped when it lands.
+			s.ev.Unpark()
+			s.abandon(seq)
+			return 0, ctx.Err()
+		case <-s.b.pumpExit:
+			// The pump exited; prefer a grant that beat it out the door.
+			s.ev.Unpark()
+			for {
+				g, ok := s.grants.Pop()
+				if !ok {
+					break
+				}
+				if g.seq == seq {
+					return g.val, g.err
+				}
+				s.reaped++
+			}
+			s.abandon(seq)
 			return 0, errBridgeClosed
 		}
 	}
-}
-
-// renewReply replaces an abandoned reply channel — the cold path after a
-// cancelled round trip.
-func (s *bridgeSession) renewReply() chan countq.Completion {
-	s.reply = make(chan countq.Completion, 1)
-	return s.reply
 }
 
 // Inc implements countq.Session (counting bridges only).
@@ -607,11 +833,11 @@ func (s *bridgeSession) Submit(ctx context.Context, op countq.Op) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if s.outstanding.Load() >= bridgePipeline {
-		return fmt.Errorf("sim: bridge session pipeline full (%d operations outstanding)", bridgePipeline)
+	if s.outstanding.Load() >= int64(s.b.pipeline) {
+		return fmt.Errorf("sim: bridge session pipeline full (%d operations outstanding)", s.b.pipeline)
 	}
 	s.outstanding.Add(1)
-	if err := s.send(ctx, bridgeOp{node: s.node, op: op, out: s.out, sess: s}); err != nil {
+	if err := s.send(ctx, bridgeOp{node: s.node, op: op, sess: s, async: true}); err != nil {
 		s.outstanding.Add(-1)
 		return err
 	}
@@ -624,9 +850,10 @@ func (s *bridgeSession) Completions() <-chan countq.Completion {
 }
 
 // Close drains any unconsumed async completions (their operations have
-// executed; abandoning them is the caller's choice) and detaches the
-// session. The channel itself is never closed — consumers track their own
-// outstanding count.
+// executed; abandoning them is the caller's choice), unregisters the
+// session's lane from the pump's sweep set and detaches the session. The
+// channel itself is never closed — consumers track their own outstanding
+// count.
 func (s *bridgeSession) Close() error {
 	if s.outstanding.Load() > 0 {
 		// outstanding is decremented after the completion push, so a brief
@@ -641,7 +868,9 @@ func (s *bridgeSession) Close() error {
 					<-timer.C
 				}
 			case <-s.b.pumpExit:
-				return nil // pump gone; nothing more will arrive
+				// Pump gone; the bridge's close sweep settles whatever is
+				// still in the lane, so leave it registered.
+				return nil
 			case <-timer.C:
 			}
 			timer.Reset(10 * time.Millisecond)
@@ -651,6 +880,7 @@ func (s *bridgeSession) Close() error {
 		select {
 		case <-s.out:
 		default:
+			s.b.sub.Remove(s.lane)
 			return nil
 		}
 	}

@@ -2,13 +2,16 @@ package sim_test
 
 import (
 	"context"
+	"io"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/countq"
+	"repro/internal/graph"
 	"repro/internal/shm"
 	"repro/internal/sim"
+	"repro/internal/tree"
 )
 
 // Keep the zoo registered for the driver tests (shm self-registers on
@@ -220,6 +223,8 @@ func TestBridgeConfigRejects(t *testing.T) {
 		{Topo: "mesh2d", Nodes: 12}, // not a perfect square: no silent truncation
 		{HopLat: -time.Microsecond},
 		{Capacity: -1},
+		{Pipeline: -1},
+		{Pipeline: 1 << 16}, // past maxPipeline
 	} {
 		if b, err := sim.NewBridge(cfg); err == nil {
 			b.Close()
@@ -266,5 +271,179 @@ func TestBridgeThroughDriver(t *testing.T) {
 	// Inflight against a structure without CapAsync fails loudly.
 	if _, err := countq.Run(countq.Workload{Counter: "sim-counter?hoplat=0", Queue: "mutex", Mix: 0.5, Ops: 200, Inflight: 4}); err == nil {
 		t.Error("inflight pipelining against a sync-only queue accepted")
+	}
+}
+
+// holdProto withholds the grant for the first issued operation until the
+// next one arrives, then grants the straggler first and the live
+// operation second — the exact arrival order that used to taint the old
+// per-session reply channel. Later operations grant immediately.
+type holdProto struct {
+	grants  sim.Grants
+	held    int
+	holding bool
+	first   bool
+	n       int64
+}
+
+func (p *holdProto) Start(env *sim.Env, node int)                  {}
+func (p *holdProto) Deliver(env *sim.Env, node int, m sim.Message) {}
+func (p *holdProto) Issue(env *sim.Env, node int, token int, op countq.Op) {
+	if !p.first {
+		p.first = true
+		p.holding = true
+		p.held = token
+		return
+	}
+	if p.holding {
+		p.holding = false
+		p.n++
+		p.grants.Grant(p.held, p.n)
+	}
+	p.n++
+	p.grants.Grant(token, p.n)
+}
+
+// TestBridgeCancelThenReuse is the straggler-grant regression test: a
+// cancelled round trip's grant arrives only after the next round trip is
+// live, and must be discarded — not handed to the wrong operation, and
+// not left pinning transport state (the old reply-channel taint).
+func TestBridgeCancelThenReuse(t *testing.T) {
+	proto := &holdProto{}
+	maker := func(g *graph.Graph, tr *tree.Tree, grants sim.Grants) (sim.BridgeProtocol, error) {
+		proto.grants = grants
+		return proto, nil
+	}
+	b := newTestBridge(t, sim.BridgeConfig{Proto: maker})
+	sess, err := b.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.Inc(ctx)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the op reach the pump and park
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("cancelled Inc returned %v, want context.Canceled", err)
+	}
+	// The next round trip releases the held straggler (value 1) right
+	// before its own grant (value 2); it must see only its own.
+	v, err := sess.Inc(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("Inc after cancellation = %d, want 2 (the straggler's 1 must be discarded)", v)
+	}
+	for want := int64(3); want <= 5; want++ {
+		v, err := sess.Inc(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Fatalf("follow-up Inc = %d, want %d", v, want)
+		}
+	}
+}
+
+// TestBridgePipelineParam pins the pipeline= spec param end to end: it
+// must reach the session's outstanding bound, and bad values must be
+// rejected at construction.
+func TestBridgePipelineParam(t *testing.T) {
+	st, err := countq.NewStructure("sim-counter?hoplat=100ms&pipeline=2", countq.KindCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.(io.Closer).Close()
+	sess, err := st.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := sess.(countq.AsyncSession)
+	ctx := context.Background()
+	// With a 100ms hop nothing completes during the test, so the third
+	// submit must trip the configured bound of 2.
+	for i := 0; i < 2; i++ {
+		if err := as.Submit(ctx, countq.Op{Kind: countq.OpInc, N: 1}); err != nil {
+			t.Fatalf("submit %d within the pipeline bound: %v", i, err)
+		}
+	}
+	if err := as.Submit(ctx, countq.Op{Kind: countq.OpInc, N: 1}); err == nil {
+		t.Error("third submit accepted past pipeline=2")
+	}
+	for _, spec := range []string{
+		"sim-counter?pipeline=-1",
+		"sim-counter?pipeline=1000000",
+	} {
+		if st, err := countq.NewStructure(spec, countq.KindCounter); err == nil {
+			st.(io.Closer).Close()
+			t.Errorf("NewStructure(%q) accepted", spec)
+		}
+	}
+}
+
+// TestBridgeCloseSubmitRace hammers Close against in-flight Submit across
+// many sessions (run it with -race): every accepted submission must
+// produce exactly one completion — granted or failed with the close error
+// — and the final drain must terminate.
+func TestBridgeCloseSubmitRace(t *testing.T) {
+	const workers, opsPer, iters = 8, 100, 10
+	for iter := 0; iter < iters; iter++ {
+		b, err := sim.NewBridge(sim.BridgeConfig{HopLat: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		sessions := make([]countq.AsyncSession, workers)
+		for w := 0; w < workers; w++ {
+			sess, err := b.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions[w] = sess.(countq.AsyncSession)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(as countq.AsyncSession) {
+				defer wg.Done()
+				ctx := context.Background()
+				accepted, reaped := 0, 0
+				for i := 0; i < opsPer; i++ {
+					if err := as.Submit(ctx, countq.Op{Kind: countq.OpInc, N: 1}); err != nil {
+						break // closed underneath us: fine, nothing owed
+					}
+					accepted++
+					for {
+						select {
+						case <-as.Completions():
+							reaped++
+							continue
+						default:
+						}
+						break
+					}
+				}
+				// One completion per accepted submit, granted or failed;
+				// a lost one deadlocks here and fails the test timeout.
+				for reaped < accepted {
+					<-as.Completions()
+					reaped++
+				}
+			}(sessions[w])
+		}
+		// Race the close against the submit storm.
+		closed := make(chan struct{})
+		go func() {
+			b.Close()
+			close(closed)
+		}()
+		wg.Wait()
+		<-closed
+		b.Close() // idempotent
 	}
 }

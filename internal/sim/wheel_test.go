@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Timing-wheel wrap-around coverage: the wheel starts at initialWheel
+// buckets and doubles on demand, so delays at and beyond the current size
+// exercise growWheel's re-bucketing and the masked indexing after it.
+
+// fanDelay assigns each hub→leaf link a fixed per-destination delay —
+// distinct links, so the per-link FIFO clamp never binds and every
+// message must arrive exactly at its model delay.
+type fanDelay struct{ byDest map[int]int }
+
+func (d fanDelay) Delay(u, v, seq int) int {
+	if w, ok := d.byDest[v]; ok {
+		return w
+	}
+	return 1
+}
+
+// TestWheelGrowLongDelays sends one message per leaf with delays spanning
+// the initial wheel size (16), including the exact boundary delay 16 (the
+// first arrival the 16-bucket wheel cannot hold) and one at 40 that
+// forces a second doubling (16 → 32 → 64). Every arrival round must match
+// the model exactly — a mis-bucketed message after growWheel would arrive
+// a wheel-length early or late.
+func TestWheelGrowLongDelays(t *testing.T) {
+	n := 10 // hub + 9 leaves
+	delays := map[int]int{9: 40}
+	for v := 1; v <= 8; v++ {
+		delays[v] = 15 + v // 16..23
+	}
+	recv := make([]int, n)
+	p := protoFuncs{
+		start: func(env *Env, node int) {
+			if node == 0 {
+				for v := 1; v < env.N(); v++ {
+					env.Send(0, v, Message{Kind: 1})
+				}
+			}
+		},
+		deliver: func(env *Env, node int, m Message) {
+			recv[node] = env.Round()
+		},
+	}
+	nw := New(Config{Graph: graph.Star(n), Capacity: n, Delay: fanDelay{byDest: delays}}, p)
+	stats, err := nw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MessagesSent != n-1 {
+		t.Errorf("messages sent = %d, want %d", stats.MessagesSent, n-1)
+	}
+	for v := 1; v < n; v++ {
+		if recv[v] != delays[v] {
+			t.Errorf("leaf %d received at round %d, want %d", v, recv[v], delays[v])
+		}
+	}
+	if stats.Rounds < 40 {
+		t.Errorf("simulation ran %d rounds, want ≥ 40 (the longest delay)", stats.Rounds)
+	}
+}
+
+// seqDelay delays exactly one message (global sequence 0) by Long; every
+// other message takes a unit hop.
+type seqDelay struct{ Long int }
+
+func (d seqDelay) Delay(u, v, seq int) int {
+	if seq == 0 {
+		return d.Long
+	}
+	return 1
+}
+
+// TestWheelMixedArrivalSameRound lands a long wheel-scheduled message and
+// a unit-hop message at the same node on the same round, from different
+// links (same-link arrivals are FIFO-clamped, which would hide the case).
+// Node 0 fires the long message (delay 21 > initialWheel, so the wheel
+// grows mid-flight); nodes 1 and 2 bounce a unit-delay tick whose 11th
+// arrival at node 1 is also round 21. Delivery within the round must
+// follow global send-sequence order: the long message (sequence 0) before
+// that round's tick (sent 20 rounds later).
+func TestWheelMixedArrivalSameRound(t *testing.T) {
+	const long = 21
+	type arrival struct{ round, kind int }
+	var got []arrival
+	p := protoFuncs{
+		start: func(env *Env, node int) {
+			switch node {
+			case 0:
+				env.Send(0, 1, Message{Kind: 9}) // sequence 0: the wheel rider
+			case 2:
+				env.Send(2, 1, Message{Kind: 1}) // the first tick
+			}
+		},
+		deliver: func(env *Env, node int, m Message) {
+			switch node {
+			case 1:
+				got = append(got, arrival{env.Round(), m.Kind})
+				if m.Kind == 1 && env.Round() < long-1 {
+					env.Send(1, 2, m)
+				}
+			case 2:
+				env.Send(2, 1, m)
+			}
+		},
+	}
+	nw := New(Config{Graph: graph.Path(3), Capacity: 4, Delay: seqDelay{Long: long}}, p)
+	if _, err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Ticks reach node 1 every other round: 1, 3, …, 19, 21. The long
+	// message arrives in round 21 too, and its sequence number orders it
+	// first within that round.
+	want := make([]arrival, 0, 12)
+	for r := 1; r < long; r += 2 {
+		want = append(want, arrival{r, 1})
+	}
+	want = append(want, arrival{long, 9}, arrival{long, 1})
+	if len(got) != len(want) {
+		t.Fatalf("node 1 saw %d arrivals %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d = %+v, want %+v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
