@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	countqlint [-json] [-list] [-analyzers a,b] [patterns ...]
+//	countqlint [-json] [-list] [-only a,b] [patterns ...]
 //
 // Patterns default to ./... so the bare invocation audits the whole
-// module, the way CI runs it between staticcheck and the build. Exit
-// status: 0 when every invariant holds, 1 when there are findings, 2 when
-// the tree does not load (a package fails to compile, a pattern matches
-// nothing).
+// module, the way CI runs it between staticcheck and the build. -only
+// restricts the run to the named analyzers (-analyzers is the historical
+// alias; passing both is an error). Exit status: 0 when every invariant
+// holds, 1 when there are findings, 2 when the tree does not load (a
+// package fails to compile, a pattern matches nothing).
 package main
 
 import (
@@ -32,9 +33,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of {file,line,col,analyzer,message}")
 	list := fs.Bool("list", false, "list the analyzers and exit")
-	selection := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	alias := fs.String("analyzers", "", "alias for -only, kept for old CI configs")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *only != "" && *alias != "" {
+		fmt.Fprintln(stderr, "countqlint: -only and -analyzers are the same flag; pass one")
+		return 2
+	}
+	selection := only
+	if *alias != "" {
+		selection = alias
 	}
 
 	all := lint.Analyzers()

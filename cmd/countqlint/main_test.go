@@ -49,6 +49,40 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// TestOnlySelects runs just the named analyzers: a selection that
+// excludes every analyzer with findings on the target must exit 0.
+func TestOnlySelects(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "hotpath,simdet", "."}, &out, &errb); code != 0 {
+		t.Fatalf("-only exited %d: %s%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+// TestOnlyUnknown rejects unknown names through the new spelling too.
+func TestOnlyUnknown(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nope", "."}, &out, &errb); code != 2 {
+		t.Fatalf("expected exit 2 for unknown analyzer, got %d", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr missing explanation: %s", errb.String())
+	}
+}
+
+// TestOnlyAnalyzersConflict refuses the flag under both names at once.
+func TestOnlyAnalyzersConflict(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "hotpath", "-analyzers", "simdet", "."}, &out, &errb); code != 2 {
+		t.Fatalf("expected exit 2 when both -only and -analyzers are set, got %d", code)
+	}
+	if !strings.Contains(errb.String(), "same flag") {
+		t.Errorf("stderr missing explanation: %s", errb.String())
+	}
+}
+
 // TestUnknownAnalyzer is a usage error, distinct from lint failure.
 func TestUnknownAnalyzer(t *testing.T) {
 	var out, errb bytes.Buffer

@@ -123,8 +123,17 @@
 // budget, registry Params/Caps declarations must match what constructors
 // read and sessions implement, sync/atomic fields must be accessed
 // atomically everywhere, and exported context-taking methods must consult
-// their context before blocking. CI runs `go run ./cmd/countqlint ./...`
-// on every push; see DESIGN.md ("Static invariants") for the contract.
+// their context before blocking. Three interprocedural analyzers over a
+// CHA call graph add the concurrency-protocol contracts: ringrole checks
+// //countq:role=producer|consumer annotations against the ring methods
+// each function can reach (one goroutine per SPSC side, lossless parks),
+// grantlife proves every BridgeProtocol.Issue settles its grant token
+// exactly once on every path, and simdet proves everything reachable
+// from the simulator's round loop deterministic — no clocks, unseeded
+// rand, map iteration, or goroutine/channel operations, so golden traces
+// stay byte-identical by construction. CI runs
+// `go run ./cmd/countqlint ./...` on every push (`-only a,b` selects
+// analyzers); see DESIGN.md ("Static invariants") for the contract.
 //
 // The cmd/countq, cmd/nntsp and cmd/bounds executables expose the same
 // functionality on the command line, and examples/ holds runnable

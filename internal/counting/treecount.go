@@ -25,8 +25,12 @@ type TreeCount struct {
 	tree     *tree.Tree
 	requests []bool
 
-	childTotal []map[int]int // childTotal[v][c] = requests in c's subtree
-	pendingUp  []int         // children yet to report
+	// childTotal[v][k] = requests in the subtree of Children(v)[k], or -1
+	// until that child reports. Rank-indexed (not a map keyed by child id)
+	// so the aggregation loops iterate in the tree's fixed child order —
+	// the sim's golden traces must not depend on map iteration order.
+	childTotal [][]int
+	pendingUp  []int // children yet to report
 	count      []int
 	delay      []int
 }
@@ -40,13 +44,17 @@ func NewTreeCount(t *tree.Tree, requests []bool) (*TreeCount, error) {
 	tc := &TreeCount{
 		tree:       t,
 		requests:   append([]bool(nil), requests...),
-		childTotal: make([]map[int]int, n),
+		childTotal: make([][]int, n),
 		pendingUp:  make([]int, n),
 		count:      make([]int, n),
 		delay:      make([]int, n),
 	}
 	for v := 0; v < n; v++ {
-		tc.childTotal[v] = make(map[int]int, len(t.Children(v)))
+		totals := make([]int, len(t.Children(v)))
+		for k := range totals {
+			totals[k] = -1
+		}
+		tc.childTotal[v] = totals
 		tc.pendingUp[v] = len(t.Children(v))
 		tc.delay[v] = -1
 	}
@@ -72,7 +80,8 @@ func (tc *TreeCount) reportUp(env *sim.Env, node int) {
 	tc.distribute(env, node, 1)
 }
 
-// subtreeTotal is node's own bit plus all reported child totals.
+// subtreeTotal is node's own bit plus all reported child totals. Only
+// called once every child has reported, so no -1 sentinel remains.
 func (tc *TreeCount) subtreeTotal(node int) int {
 	total := 0
 	if tc.requests[node] {
@@ -84,6 +93,18 @@ func (tc *TreeCount) subtreeTotal(node int) int {
 	return total
 }
 
+// childRank finds c's position in node's child list, or -1 for a sender
+// that is not a child — rank-indexing keeps every aggregation loop in
+// the tree's fixed child order.
+func (tc *TreeCount) childRank(node, c int) int {
+	for k, ch := range tc.tree.Children(node) {
+		if ch == c {
+			return k
+		}
+	}
+	return -1
+}
+
 // distribute hands out the rank block starting at base to node and its
 // children's subtrees.
 func (tc *TreeCount) distribute(env *sim.Env, node, base int) {
@@ -92,9 +113,9 @@ func (tc *TreeCount) distribute(env *sim.Env, node, base int) {
 		tc.delay[node] = env.Round()
 		base++
 	}
-	for _, c := range tc.tree.Children(node) {
-		t := tc.childTotal[node][c]
-		if t == 0 {
+	for k, c := range tc.tree.Children(node) {
+		t := tc.childTotal[node][k]
+		if t <= 0 {
 			continue
 		}
 		env.Send(node, c, sim.Message{Kind: kindDown, A: base})
@@ -106,11 +127,16 @@ func (tc *TreeCount) distribute(env *sim.Env, node, base int) {
 func (tc *TreeCount) Deliver(env *sim.Env, node int, m sim.Message) {
 	switch m.Kind {
 	case kindUp:
-		if _, dup := tc.childTotal[node][m.From]; dup {
+		k := tc.childRank(node, m.From)
+		if k < 0 {
+			env.Fail(fmt.Errorf("counting: node %d got a report from non-child %d", node, m.From))
+			return
+		}
+		if tc.childTotal[node][k] >= 0 {
 			env.Fail(fmt.Errorf("counting: child %d reported twice to %d", m.From, node))
 			return
 		}
-		tc.childTotal[node][m.From] = m.A
+		tc.childTotal[node][k] = m.A
 		tc.pendingUp[node]--
 		if tc.pendingUp[node] == 0 {
 			tc.reportUp(env, node)

@@ -1,0 +1,564 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// simPath is the import path of the simulator package whose bridge
+// contracts grantlife and simdet enforce.
+const simPath = "repro/internal/sim"
+
+// GrantLifeAnalyzer enforces the bridge token lifecycle: BridgeProtocol.
+// Issue receives a token the pump has bound to a live operation, and the
+// contract (sim.BridgeProtocol's doc) is that the protocol eventually
+// grants it exactly once. Within Issue itself that means every path out
+// of the method must settle the token exactly once — either granting it
+// (Grants.Grant) or handing it onward (stored into protocol state, sent
+// inside a message, passed to a function the analyzer cannot see into:
+// the conservative escapes, after which a later Deliver owns it). A path
+// that drops the token leaks the operation — its session blocks forever;
+// a path that grants it twice corrupts the grant table's free list. Both
+// are silent at runtime (Grant on a freed token is a no-op by design)
+// and invisible to vet, staticcheck and -race.
+//
+// The pass is a lightweight must-reach walk over branch/return paths:
+// if/switch arms fork the state, loop bodies may not run (a settle
+// inside one never satisfies the must-settle direction), and in-package
+// helper calls the token flows into are recursed depth-bounded to ask
+// whether they settle their parameter on all paths.
+var GrantLifeAnalyzer = &Analyzer{
+	Name: "grantlife",
+	Doc: "every path out of a BridgeProtocol.Issue must settle the grant token exactly once — " +
+		"Grant it, store it into protocol state, or forward it in a message; dropping it leaks " +
+		"the operation (the session blocks forever) and double-granting corrupts the token table",
+	Run: runGrantLife,
+}
+
+func runGrantLife(pass *Pass) error {
+	sim := importedPkg(pass.Pkg, simPath)
+	if sim == nil {
+		return nil
+	}
+	bpIface := scopeInterface(sim, "BridgeProtocol")
+	grantsIface := scopeInterface(sim, "Grants")
+	if bpIface == nil || grantsIface == nil {
+		return nil
+	}
+	g := packageCallGraph(pass)
+	for _, impl := range implementations(pass.Pkg, bpIface) {
+		issue := methodOn(pass.Pkg, impl, "Issue")
+		fd := g.decls[issue]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		sig := issue.Type().(*types.Signature)
+		if sig.Params().Len() < 3 {
+			continue
+		}
+		tokenObj := tokenParam(pass, fd, 2)
+		if tokenObj == nil {
+			pass.Reportf(fd.Pos(), "%s.Issue discards its token parameter — the operation is never granted and its session blocks forever", implName(impl))
+			continue
+		}
+		w := &grantWalker{
+			pass:    pass,
+			g:       g,
+			grants:  grantsIface,
+			name:    implName(impl) + ".Issue",
+			settles: make(map[*types.Func]map[int]bool),
+		}
+		aliases := map[types.Object]bool{tokenObj: true}
+		end := w.walkStmts(fd.Body.List, pathState{}, aliases, true, 3)
+		if !end.terminated && end.minSettled == 0 {
+			pass.Reportf(fd.Body.Rbrace, "%s: the token reaches neither Grant nor an escape (store/send/helper) on a path ending here — the operation leaks and its session blocks forever", w.name)
+		}
+	}
+	return nil
+}
+
+// implName renders a pointer-to-named implementation type bare.
+func implName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// tokenParam resolves the object of the decl's i-th (flattened)
+// parameter; nil when it is blank or unnamed.
+func tokenParam(pass *Pass, fd *ast.FuncDecl, i int) types.Object {
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range names {
+			if idx == i {
+				if name.Name == "_" {
+					return nil
+				}
+				return pass.Info.Defs[name]
+			}
+			idx++
+		}
+	}
+	return nil
+}
+
+// pathState is the walker's per-path summary. minSettled is the settle
+// count guaranteed on every path reaching this point; maxGranted the
+// Grant count possible on some path (for may-double-grant detection).
+type pathState struct {
+	minSettled int
+	maxGranted int
+	terminated bool
+}
+
+type grantWalker struct {
+	pass   *Pass
+	g      *callGraph
+	grants *types.Interface
+	name   string
+	// settles caches helper verdicts: does fn settle its i-th parameter
+	// on all paths?
+	settles map[*types.Func]map[int]bool
+}
+
+// walkStmts threads the state through a statement list, forking at
+// branches. report=false runs the walker silently (helper verdicts).
+func (w *grantWalker) walkStmts(list []ast.Stmt, st pathState, aliases map[types.Object]bool, report bool, depth int) pathState {
+	for _, s := range list {
+		if st.terminated {
+			return st
+		}
+		st = w.walkStmt(s, st, aliases, report, depth)
+	}
+	return st
+}
+
+func (w *grantWalker) walkStmt(s ast.Stmt, st pathState, aliases map[types.Object]bool, report bool, depth int) pathState {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return w.walkStmts(x.List, st, aliases, report, depth)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st, aliases, report, depth)
+		}
+		st = w.scanExpr(x.Cond, st, aliases, report, depth)
+		thenSt := w.walkStmt(x.Body, st, copyAliases(aliases), report, depth)
+		elseSt := st
+		if x.Else != nil {
+			elseSt = w.walkStmt(x.Else, st, copyAliases(aliases), report, depth)
+		}
+		return mergeStates(thenSt, elseSt)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkBranchy(s, st, aliases, report, depth)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st, aliases, report, depth)
+		}
+		if x.Cond != nil {
+			st = w.scanExpr(x.Cond, st, aliases, report, depth)
+		}
+		// The body may run zero times: its settles never satisfy the
+		// must-settle direction, but its grants count toward may-grant.
+		bodySt := w.walkStmt(x.Body, st, copyAliases(aliases), report, depth)
+		return pathState{minSettled: st.minSettled, maxGranted: bodySt.maxGranted, terminated: false}
+	case *ast.RangeStmt:
+		st = w.scanExpr(x.X, st, aliases, report, depth)
+		bodySt := w.walkStmt(x.Body, st, copyAliases(aliases), report, depth)
+		return pathState{minSettled: st.minSettled, maxGranted: bodySt.maxGranted, terminated: false}
+	case *ast.ReturnStmt:
+		for _, res := range x.Results {
+			st = w.scanExpr(res, st, aliases, report, depth)
+		}
+		if st.minSettled == 0 && report {
+			w.pass.Reportf(x.Pos(), "%s: the token reaches neither Grant nor an escape (store/send/helper) on the path returning here — the operation leaks and its session blocks forever", w.name)
+		}
+		st.terminated = true
+		return st
+	case *ast.AssignStmt:
+		// Alias propagation: `t := token` (or `t = token`) makes t carry
+		// the token; any other RHS use is scanned for events, and an
+		// aliased value stored through a selector/index escapes.
+		for i, rhs := range x.Rhs {
+			if i < len(x.Lhs) {
+				if id, ok := x.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					if src, ok := unparen(rhs).(*ast.Ident); ok {
+						if obj := exprObj(w.pass.Info, src); obj != nil && aliases[obj] {
+							if lobj := w.objOf(id); lobj != nil {
+								aliases[lobj] = true
+							}
+							continue
+						}
+					}
+					st = w.scanExpr(rhs, st, aliases, report, depth)
+					continue
+				}
+				// Store through a selector/index: an aliased RHS escapes
+				// into reachable state.
+				if w.usesAlias(rhs, aliases) {
+					st.minSettled++
+					st = w.scanGrantsOnly(rhs, st, aliases, report, depth)
+					continue
+				}
+			}
+			st = w.scanExpr(rhs, st, aliases, report, depth)
+		}
+		return st
+	case *ast.ExprStmt:
+		return w.scanExpr(x.X, st, aliases, report, depth)
+	case *ast.SendStmt:
+		if w.usesAlias(x.Value, aliases) {
+			st.minSettled++
+			return st
+		}
+		return w.scanExpr(x.Value, st, aliases, report, depth)
+	case *ast.DeferStmt:
+		return w.scanExpr(x.Call, st, aliases, report, depth)
+	case *ast.GoStmt:
+		return w.scanExpr(x.Call, st, aliases, report, depth)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, v := range vs.Values {
+						if src, ok := unparen(v).(*ast.Ident); ok && i < len(vs.Names) {
+							if obj := exprObj(w.pass.Info, src); obj != nil && aliases[obj] {
+								if lobj := w.pass.Info.Defs[vs.Names[i]]; lobj != nil {
+									aliases[lobj] = true
+								}
+								continue
+							}
+						}
+						st = w.scanExpr(v, st, aliases, report, depth)
+					}
+				}
+			}
+		}
+		return st
+	case *ast.LabeledStmt:
+		return w.walkStmt(x.Stmt, st, aliases, report, depth)
+	default:
+		return st
+	}
+}
+
+// walkBranchy forks the state across a switch/select's clauses. Without
+// a default clause the zero-clause fallthrough path is merged in too.
+func (w *grantWalker) walkBranchy(s ast.Stmt, st pathState, aliases map[types.Object]bool, report bool, depth int) pathState {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st, aliases, report, depth)
+		}
+		if x.Tag != nil {
+			st = w.scanExpr(x.Tag, st, aliases, report, depth)
+		}
+		body = x.Body
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st, aliases, report, depth)
+		}
+		body = x.Body
+	case *ast.SelectStmt:
+		body = x.Body
+	}
+	merged := pathState{minSettled: -1}
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				st = w.scanExpr(e, st, aliases, report, depth)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				st = w.walkStmt(c.Comm, st, aliases, report, depth)
+			}
+			stmts = c.Body
+		}
+		cs := w.walkStmts(stmts, st, copyAliases(aliases), report, depth)
+		merged = mergeStates(merged, cs)
+	}
+	if _, isSelect := s.(*ast.SelectStmt); !hasDefault && !isSelect {
+		merged = mergeStates(merged, st) // no matching case: fall through unchanged
+	}
+	if merged.minSettled == -1 {
+		return st
+	}
+	return merged
+}
+
+// scanExpr walks an expression for settle events on the aliased token:
+// Grant calls, composite-literal captures, unresolvable-call escapes,
+// and in-package helper flows (recursed for a must-settle verdict).
+func (w *grantWalker) scanExpr(e ast.Expr, st pathState, aliases map[types.Object]bool, report bool, depth int) pathState {
+	if e == nil {
+		return st
+	}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := unparen(e).(type) {
+		case *ast.CallExpr:
+			for _, arg := range x.Args {
+				walk(arg)
+			}
+			if w.pass.Info.Types[x.Fun].IsType() {
+				return // a conversion is transparent, not a consumer
+			}
+			if !w.callUsesAlias(x, aliases) {
+				return
+			}
+			st = w.settleEvent(x, st, aliases, report, depth)
+		case *ast.CompositeLit:
+			if w.usesAlias(x, aliases) {
+				// The token is captured into a value; whoever receives
+				// the literal owns settling it.
+				st.minSettled++
+				return
+			}
+		case *ast.FuncLit:
+			if w.usesAlias(x.Body, aliases) {
+				st.minSettled++ // captured by a closure: escapes
+			}
+		case *ast.BinaryExpr:
+			walk(x.X)
+			walk(x.Y)
+		case *ast.UnaryExpr:
+			walk(x.X)
+		case *ast.IndexExpr:
+			walk(x.X) // x.Index reading at the token's index is not a settle
+		case *ast.SelectorExpr:
+			walk(x.X)
+		case *ast.StarExpr:
+			walk(x.X)
+		}
+	}
+	walk(e)
+	return st
+}
+
+// scanGrantsOnly scans an already-escaping expression for Grant calls so
+// `p.state[n] = grant(token)`-shaped code still counts its grants.
+func (w *grantWalker) scanGrantsOnly(e ast.Expr, st pathState, aliases map[types.Object]bool, report bool, depth int) pathState {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if w.isGrantCall(call) && w.callUsesAlias(call, aliases) {
+			st.maxGranted++
+		}
+		return true
+	})
+	return st
+}
+
+// settleEvent classifies one alias-carrying call: Grant, an in-package
+// helper (recursed for a verdict), or a blind call (conservative
+// escape).
+func (w *grantWalker) settleEvent(call *ast.CallExpr, st pathState, aliases map[types.Object]bool, report bool, depth int) pathState {
+	if w.isGrantCall(call) {
+		if st.maxGranted >= 1 && report {
+			w.pass.Reportf(call.Pos(), "%s: the token may already be granted when this Grant runs — a double grant frees the token-table slot twice and completes a stranger's operation", w.name)
+		} else if st.minSettled >= 1 && report {
+			w.pass.Reportf(call.Pos(), "%s: the token was already stored or forwarded on this path; granting it again settles it twice", w.name)
+		}
+		st.minSettled++
+		st.maxGranted++
+		return st
+	}
+	// Builtin append/copy with the token inside a composite literal is
+	// handled by the CompositeLit case; a bare `append(s, token)` treats
+	// the append as a store-escape.
+	callee := calleeFunc(w.pass.Info, call)
+	if callee != nil {
+		if fd := w.g.decls[origin(callee)]; fd != nil && fd.Body != nil && depth > 0 {
+			if idx, ok := w.aliasArgIndex(call, callee, aliases); ok {
+				if w.helperSettles(origin(callee), fd, idx, depth-1) {
+					st.minSettled++
+				}
+				// A helper that does not always settle contributes
+				// nothing: the leak (if any) is reported at this
+				// function's own path ends.
+				return st
+			}
+		}
+	}
+	// Blind call (cross-package, builtin, func value): assume the callee
+	// settles the token it received.
+	st.minSettled++
+	return st
+}
+
+// isGrantCall recognizes a call to Grant on sim.Grants or any type
+// implementing it.
+func (w *grantWalker) isGrantCall(call *ast.CallExpr) bool {
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil || fn.Name() != "Grant" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	return types.Implements(recv, w.grants) || types.Implements(types.NewPointer(recv), w.grants) ||
+		types.Identical(recv.Underlying(), w.grants)
+}
+
+// aliasArgIndex finds which of the callee's parameters the aliased token
+// flows into (first match).
+func (w *grantWalker) aliasArgIndex(call *ast.CallExpr, callee *types.Func, aliases map[types.Object]bool) (int, bool) {
+	sig := callee.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		if !w.usesAlias(arg, aliases) {
+			continue
+		}
+		idx := i
+		if sig.Variadic() && idx >= sig.Params().Len() {
+			idx = sig.Params().Len() - 1
+		}
+		if idx < sig.Params().Len() {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// helperSettles answers, memoized and depth-bounded, whether fn settles
+// its idx-th parameter on all paths.
+func (w *grantWalker) helperSettles(fn *types.Func, fd *ast.FuncDecl, idx, depth int) bool {
+	if verdicts, ok := w.settles[fn]; ok {
+		if v, ok := verdicts[idx]; ok {
+			return v
+		}
+	} else {
+		w.settles[fn] = make(map[int]bool)
+	}
+	w.settles[fn][idx] = false // cycle default: assume not settled
+	obj := tokenParam(w.pass, fd, idx)
+	if obj == nil {
+		return false
+	}
+	end := w.walkStmts(fd.Body.List, pathState{}, map[types.Object]bool{obj: true}, false, depth)
+	v := end.minSettled > 0
+	w.settles[fn][idx] = v
+	return v
+}
+
+// usesAlias reports whether any aliased identifier occurs under e.
+func (w *grantWalker) usesAlias(n ast.Node, aliases map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			if obj := w.pass.Info.Uses[id]; obj != nil && aliases[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callUsesAlias reports whether an aliased identifier occurs in the
+// call's arguments outside nested calls and composite literals (those
+// account for their own events).
+func (w *grantWalker) callUsesAlias(call *ast.CallExpr, aliases map[types.Object]bool) bool {
+	for _, arg := range call.Args {
+		if w.directUse(arg, aliases) {
+			return true
+		}
+	}
+	return false
+}
+
+// directUse finds an alias use not nested inside an inner call, literal
+// or closure.
+func (w *grantWalker) directUse(e ast.Expr, aliases map[types.Object]bool) bool {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.pass.Info.Uses[x]
+		return obj != nil && aliases[obj]
+	case *ast.BinaryExpr:
+		return w.directUse(x.X, aliases) || w.directUse(x.Y, aliases)
+	case *ast.UnaryExpr:
+		return w.directUse(x.X, aliases)
+	case *ast.StarExpr:
+		return w.directUse(x.X, aliases)
+	case *ast.IndexExpr:
+		return w.directUse(x.X, aliases) || w.directUse(x.Index, aliases)
+	case *ast.SelectorExpr:
+		return w.directUse(x.X, aliases)
+	case *ast.CallExpr:
+		// A conversion is transparent; a real call accounts for itself.
+		if w.pass.Info.Types[x.Fun].IsType() {
+			for _, arg := range x.Args {
+				if w.directUse(arg, aliases) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func (w *grantWalker) objOf(id *ast.Ident) types.Object {
+	if obj := w.pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return w.pass.Info.Uses[id]
+}
+
+func copyAliases(m map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeStates(a, b pathState) pathState {
+	switch {
+	case a.minSettled == -1:
+		return b
+	case a.terminated && b.terminated:
+		return pathState{minSettled: minInt(a.minSettled, b.minSettled), maxGranted: maxInt(a.maxGranted, b.maxGranted), terminated: true}
+	case a.terminated:
+		return b
+	case b.terminated:
+		return a
+	default:
+		return pathState{minSettled: minInt(a.minSettled, b.minSettled), maxGranted: maxInt(a.maxGranted, b.maxGranted)}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

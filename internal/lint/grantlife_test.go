@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestGrantLifeBad proves the lifecycle rules fire: a branch that drops
+// the token, a may-double grant, a discarded token parameter, a
+// conditionally-settling helper, and a store-then-grant. None of these
+// crash at runtime — Grant on a freed slot is a silent no-op and a
+// leaked token just wedges its session — so the runtime gates, vet and
+// -race never see them.
+func TestGrantLifeBad(t *testing.T) {
+	linttest.Run(t, "testdata/grantlife/bad", lint.GrantLifeAnalyzer)
+}
+
+// TestGrantLifeGood proves the real settle shapes pass: grant-at-home,
+// forward-in-message, stow-into-state, and the always-settling helper.
+func TestGrantLifeGood(t *testing.T) {
+	linttest.Run(t, "testdata/grantlife/good", lint.GrantLifeAnalyzer)
+}

@@ -27,20 +27,27 @@ import (
 //   - map iteration (range over a map allocates its iterator)
 //   - fmt.* calls, except feeding a return statement or a panic — the
 //     cold error paths
+//   - spread appends (append(s, v...) grows by a runtime-sized batch, so
+//     the reserved-capacity argument that legitimizes plain appends does
+//     not cover it)
+//   - string concatenation that is not constant-folded (each + allocates
+//     the joined result), with the same return/panic exemption as fmt
 //   - clock reads (time.Now / time.Since) beyond the annotated budget:
 //     `//countq:hotpath clocks=N` declares the audited number of call
 //     sites (default 1), so extra reads are flagged until re-audited
 //
-// Plain appends are allowed: the hot paths append into capacity reserved
-// by the (deliberately unannotated) amortized helpers reserve/grow.
+// Plain single-element appends are allowed: the hot paths append into
+// capacity reserved by the (deliberately unannotated) amortized helpers
+// reserve/grow.
 const hotPathDirective = "//countq:hotpath"
 
 // HotPathAnalyzer enforces the //countq:hotpath annotation contract.
 var HotPathAnalyzer = &Analyzer{
 	Name: "hotpath",
 	Doc: "functions annotated //countq:hotpath must not contain heap-allocating constructs " +
-		"(closures, defer, make, interface-escaping composites, map ranges, non-cold fmt) " +
-		"or clock reads beyond the clocks=N budget",
+		"(closures, defer, make, interface-escaping composites, map ranges, non-cold fmt, " +
+		"spread appends, non-constant string concatenation) or clock reads beyond the " +
+		"clocks=N budget",
 	Run: runHotPath,
 }
 
@@ -148,9 +155,49 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl, clockBudget int) {
 			}
 		case *ast.CallExpr:
 			checkHotCall(pass, name, x, stack, clockBudget, &clockSites)
+		case *ast.BinaryExpr:
+			checkHotConcat(pass, name, x, stack)
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 {
+				if t := info.TypeOf(x.Lhs[0]); t != nil && isStringType(t) && !coldPath(stack) {
+					pass.Reportf(x.Pos(), "%s: string += concatenation in a //countq:hotpath function allocates the joined result (build into a reserved []byte instead)", name)
+				}
+			}
 		}
 		return true
 	})
+}
+
+// checkHotConcat flags a runtime string concatenation. Constant-folded
+// expressions cost nothing, a chain reports only at its outermost +, and
+// the return/panic exemption matches fmt's: taking the error path ends
+// the measured iteration anyway.
+func checkHotConcat(pass *Pass, name string, x *ast.BinaryExpr, stack []ast.Node) {
+	info := pass.Info
+	if x.Op != token.ADD {
+		return
+	}
+	tv, ok := info.Types[x]
+	if !ok || tv.Value != nil || tv.Type == nil || !isStringType(tv.Type) {
+		return
+	}
+	if len(stack) > 0 {
+		if p, ok := stack[len(stack)-1].(*ast.BinaryExpr); ok && p.Op == token.ADD {
+			if pt, found := info.Types[p]; found && pt.Value == nil && pt.Type != nil && isStringType(pt.Type) {
+				return // inner term of a chain; the outermost + reports
+			}
+		}
+	}
+	if coldPath(stack) {
+		return
+	}
+	pass.Reportf(x.Pos(), "%s: string concatenation in a //countq:hotpath function allocates the joined result (build into a reserved []byte instead)", name)
+}
+
+// isStringType reports whether t's underlying type is a string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
 }
 
 func checkHotCall(pass *Pass, name string, call *ast.CallExpr, stack []ast.Node, clockBudget int, clockSites *int) {
@@ -173,6 +220,10 @@ func checkHotCall(pass *Pass, name string, call *ast.CallExpr, stack []ast.Node,
 				pass.Reportf(call.Pos(), "%s: make(%s) in a //countq:hotpath function allocates", name, kind)
 			case "new":
 				pass.Reportf(call.Pos(), "%s: new(...) in a //countq:hotpath function allocates", name)
+			case "append":
+				if call.Ellipsis.IsValid() {
+					pass.Reportf(call.Pos(), "%s: append(s, v...) in a //countq:hotpath function grows by a runtime-sized batch — the reserved-capacity argument that allows plain appends does not cover it", name)
+				}
 			}
 			return
 		}

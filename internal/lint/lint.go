@@ -79,6 +79,9 @@ func Analyzers() []*Analyzer {
 		RegistryParamsAnalyzer,
 		AtomicFieldAnalyzer,
 		CtxDisciplineAnalyzer,
+		RingRoleAnalyzer,
+		GrantLifeAnalyzer,
+		SimDetAnalyzer,
 	}
 }
 

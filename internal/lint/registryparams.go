@@ -135,7 +135,7 @@ func checkRegistration(pass *Pass, countq *types.Package, decls map[*types.Func]
 	}
 	read := make(map[string]ast.Node)
 	if body, param := constructorBody(pass, decls, newExpr); body != nil && param != nil {
-		collectOptionKeys(pass, decls, body, param, read, make(map[ast.Node]bool), 4)
+		collectOptionKeys(pass, decls, body, param, make(map[types.Object]bool), read, make(map[ast.Node]bool), 4)
 	}
 
 	for key, site := range read {
@@ -216,21 +216,54 @@ func isOptionsType(t types.Type) bool {
 // hop at a time, depth-bounded — any same-package function or local
 // closure the options value is passed into. A helper that reads keys
 // arriving through its own parameters (requireAtLeast1's variadic keys)
-// reports them via the constant strings at its call site.
-func collectOptionKeys(pass *Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, opts types.Object, read map[string]ast.Node, visited map[ast.Node]bool, depth int) bool {
+// reports them via the constant strings at its call site. getters holds
+// method values peeled off the options parameter (`g := o.Int`, or o.Int
+// passed into a helper's func-typed parameter) — calling one reads a key
+// exactly like the selector form.
+func collectOptionKeys(pass *Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, opts types.Object, getters map[types.Object]bool, read map[string]ast.Node, visited map[ast.Node]bool, depth int) bool {
 	if depth == 0 || visited[body] {
 		return false
 	}
 	visited[body] = true
+	// isGetterValue recognizes an expression denoting a getter bound to
+	// the options value: the method value o.Int itself, or a variable a
+	// method value was assigned to.
+	isGetterValue := func(e ast.Expr) bool {
+		switch x := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			return optionGetters[x.Sel.Name] && opts != nil && exprObj(pass.Info, x.X) == opts
+		case *ast.Ident:
+			obj := exprObj(pass.Info, x)
+			return obj != nil && getters[obj]
+		}
+		return false
+	}
 	dynamic := false
 	ast.Inspect(body, func(n ast.Node) bool {
+		// g := o.Int — bind the method value; calls through g below read
+		// keys like the selector form does.
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for i, rhs := range as.Rhs {
+				if !isGetterValue(rhs) {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					if obj := exprObj(pass.Info, id); obj != nil {
+						getters[obj] = true
+					} else if obj := pass.Info.Defs[id]; obj != nil {
+						getters[obj] = true
+					}
+				}
+			}
+			return true
+		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
 		// o.Int("key", def) — a getter on the options parameter.
 		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && optionGetters[sel.Sel.Name] {
-			if exprObj(pass.Info, sel.X) == opts && len(call.Args) > 0 {
+			if opts != nil && exprObj(pass.Info, sel.X) == opts && len(call.Args) > 0 {
 				if key, ok := constString(pass.Info, call.Args[0]); ok {
 					read[key] = call.Args[0]
 				} else {
@@ -239,10 +272,22 @@ func collectOptionKeys(pass *Pass, decls map[*types.Func]*ast.FuncDecl, body *as
 				return true
 			}
 		}
-		// helper(o, ...) / helper(&o, "k1", "k2") — follow the flow.
+		// g("key", def) — a call through a bound getter method value.
+		if isGetterValue(call.Fun) {
+			if _, isSel := unparen(call.Fun).(*ast.SelectorExpr); !isSel && len(call.Args) > 0 {
+				if key, ok := constString(pass.Info, call.Args[0]); ok {
+					read[key] = call.Args[0]
+				} else {
+					dynamic = true
+				}
+				return true
+			}
+		}
+		// helper(o, ...) / helper(&o, "k1", "k2") / readAll(o.Int) —
+		// follow the flow of the options value or a bound getter.
 		passesOpts := false
 		for _, arg := range call.Args {
-			if exprObj(pass.Info, arg) == opts {
+			if (opts != nil && exprObj(pass.Info, arg) == opts) || isGetterValue(arg) {
 				passesOpts = true
 				break
 			}
@@ -262,14 +307,25 @@ func collectOptionKeys(pass *Pass, decls map[*types.Func]*ast.FuncDecl, body *as
 		}
 		if calleeBody != nil && calleeType != nil {
 			var calleeOpts types.Object
+			calleeGetters := make(map[types.Object]bool)
+			// Flatten the parameter names so a func-typed parameter can be
+			// matched positionally to the getter value flowing into it.
+			var flat []*ast.Ident
 			for _, field := range calleeType.Params.List {
-				if t := pass.Info.TypeOf(field.Type); t != nil && isOptionsType(t) && len(field.Names) > 0 {
+				if t := pass.Info.TypeOf(field.Type); t != nil && isOptionsType(t) && len(field.Names) > 0 && calleeOpts == nil {
 					calleeOpts = pass.Info.Defs[field.Names[0]]
-					break
+				}
+				flat = append(flat, field.Names...)
+			}
+			for i, arg := range call.Args {
+				if i < len(flat) && isGetterValue(arg) {
+					if obj := pass.Info.Defs[flat[i]]; obj != nil {
+						calleeGetters[obj] = true
+					}
 				}
 			}
-			if calleeOpts != nil {
-				calleeDynamic = collectOptionKeys(pass, decls, calleeBody, calleeOpts, read, visited, depth-1)
+			if calleeOpts != nil || len(calleeGetters) > 0 {
+				calleeDynamic = collectOptionKeys(pass, decls, calleeBody, calleeOpts, calleeGetters, read, visited, depth-1)
 			}
 		}
 		if calleeDynamic {

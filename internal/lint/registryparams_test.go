@@ -10,7 +10,9 @@ import (
 // TestRegistryParamsBad proves both drift directions (a read key Params
 // does not declare, a declared key never read) and both Caps directions (a
 // declared capability the sessions lack, an implemented capability the
-// declaration hides). The whole fixture compiles and passes vet — the
+// declaration hides) — including drift hidden behind getter method values
+// (`g := o.Int; g("burst", 1)`, o.Int handed to a helper) in a multi-kind
+// registration. The whole fixture compiles and passes vet — the
 // registry's contract is invisible to generic tooling.
 func TestRegistryParamsBad(t *testing.T) {
 	linttest.Run(t, "testdata/registryparams/bad", lint.RegistryParamsAnalyzer)
@@ -19,7 +21,9 @@ func TestRegistryParamsBad(t *testing.T) {
 // TestRegistryParamsGood proves the resolution machinery follows the
 // tree's real idioms without false positives: Params via a shared
 // identifier, parsing delegated to a local closure, variadic key helpers,
-// and the kind-gate for capabilities the structure's kind cannot serve.
+// the kind-gate for capabilities the structure's kind cannot serve, and a
+// multi-kind registration whose constructor reads every param through
+// getter method values (bound locally and passed into a helper).
 func TestRegistryParamsGood(t *testing.T) {
 	linttest.Run(t, "testdata/registryparams/good", lint.RegistryParamsAnalyzer)
 }

@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestRingRoleBad proves every role-discipline rule fires: unannotated
+// reachability (direct, transitive, and CHA-resolved through an
+// interface), mixed-role access, contradicted annotations, dead and
+// malformed and misplaced directives, and both park-protocol violations.
+// All of it compiles and passes vet — the races need schedules -race may
+// never produce.
+func TestRingRoleBad(t *testing.T) {
+	linttest.Run(t, "testdata/ringrole/bad", lint.RingRoleAnalyzer)
+}
+
+// TestRingRoleGood proves the legitimate transport idioms stay clean:
+// matching annotations, the cross-ring consumer→producer pivot, racy Len
+// reads, and the canonical Prepare/re-check/park loop.
+func TestRingRoleGood(t *testing.T) {
+	linttest.Run(t, "testdata/ringrole/good", lint.RingRoleAnalyzer)
+}

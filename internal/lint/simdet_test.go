@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestSimDetBad proves every banned construct fires inside the
+// deterministic region: clock reads, map ranges, go statements, channel
+// sends and receives, select, package-level rand, and a sleep on the
+// bridge's issue path. Each one keeps the final counts correct and only
+// perturbs trace order — invisible to vet, staticcheck, -race, and any
+// test asserting end state.
+func TestSimDetBad(t *testing.T) {
+	linttest.Run(t, "testdata/simdet/bad", lint.SimDetAnalyzer)
+}
+
+// TestSimDetGood proves the deterministic idioms pass: seeded *rand.Rand
+// draws, keyed map access, slice ranges, round-counter time, and channel
+// work hidden behind a //countq:role boundary.
+func TestSimDetGood(t *testing.T) {
+	linttest.Run(t, "testdata/simdet/good", lint.SimDetAnalyzer)
+}

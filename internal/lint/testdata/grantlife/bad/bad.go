@@ -1,0 +1,84 @@
+// Package bad seeds one violation of every grant-lifecycle rule: a token
+// leaked on a fall-through path, a may-double grant, a discarded token
+// parameter, a conditionally-settling helper that leaves the caller's
+// guarantee open, and a store-then-grant that settles twice. Every method
+// compiles and runs without panicking — Grant on a freed slot is a no-op
+// by design, and a leaked token just blocks its session forever — so
+// vet, staticcheck and -race all stay silent.
+package bad
+
+import (
+	"repro/countq"
+	"repro/internal/sim"
+)
+
+// leakProto grants on one branch and forgets the token on the other.
+type leakProto struct{ grants sim.Grants }
+
+func (p *leakProto) Start(env *sim.Env, node int)                  {}
+func (p *leakProto) Deliver(env *sim.Env, node int, m sim.Message) {}
+
+func (p *leakProto) Issue(env *sim.Env, node int, token int, op countq.Op) {
+	if node == 0 {
+		p.grants.Grant(token, op.N)
+		return
+	}
+} // want "leakProto.Issue: the token reaches neither Grant nor an escape \\(store/send/helper\\) on a path ending here"
+
+// doubleProto may grant the same token twice.
+type doubleProto struct{ grants sim.Grants }
+
+func (p *doubleProto) Start(env *sim.Env, node int)                  {}
+func (p *doubleProto) Deliver(env *sim.Env, node int, m sim.Message) {}
+
+func (p *doubleProto) Issue(env *sim.Env, node int, token int, op countq.Op) {
+	p.grants.Grant(token, 0)
+	if node > 0 {
+		p.grants.Grant(token, 1) // want "doubleProto.Issue: the token may already be granted when this Grant runs"
+	}
+}
+
+// discardProto never even binds the token.
+type discardProto struct{ grants sim.Grants }
+
+func (p *discardProto) Start(env *sim.Env, node int)                  {}
+func (p *discardProto) Deliver(env *sim.Env, node int, m sim.Message) {}
+
+func (p *discardProto) Issue(env *sim.Env, node int, _ int, op countq.Op) { // want "discardProto.Issue discards its token parameter"
+	p.grants.Grant(0, op.N)
+}
+
+// maybeProto hands the token to a helper that stores it only sometimes;
+// the helper's guarantee is conditional, so Issue's is too.
+type maybeProto struct {
+	grants  sim.Grants
+	backlog []int
+}
+
+func (p *maybeProto) Start(env *sim.Env, node int)                  {}
+func (p *maybeProto) Deliver(env *sim.Env, node int, m sim.Message) {}
+
+func (p *maybeProto) stash(token int, keep bool) {
+	if keep {
+		p.backlog = append(p.backlog, token)
+	}
+}
+
+func (p *maybeProto) Issue(env *sim.Env, node int, token int, op countq.Op) {
+	p.stash(token, node > 0)
+} // want "maybeProto.Issue: the token reaches neither Grant nor an escape \\(store/send/helper\\) on a path ending here"
+
+// eagerProto stores the token for a later Deliver and then grants it
+// anyway — two settles of one operation.
+type eagerProto struct {
+	grants  sim.Grants
+	pending []int
+}
+
+func (p *eagerProto) Start(env *sim.Env, node int)                  {}
+func (p *eagerProto) Deliver(env *sim.Env, node int, m sim.Message) {}
+
+func (p *eagerProto) Issue(env *sim.Env, node int, token int, op countq.Op) {
+	p.pending = append(p.pending, token)
+	p.grants.Grant(token, 0) // want "eagerProto.Issue: the token was already stored or forwarded on this path; granting it again settles it twice"
+}

@@ -1,0 +1,83 @@
+// Package good holds the legitimate Issue shapes grantlife must accept:
+// the token granted immediately at the home node, forwarded inside a
+// message on the remote path, stowed into protocol state for a later
+// Deliver to resolve, and handed to a helper that stores it on every
+// path.
+package good
+
+import (
+	"repro/countq"
+	"repro/internal/sim"
+)
+
+// centralProto settles at the root, forwards from everywhere else —
+// the central-counter shape.
+type centralProto struct{ grants sim.Grants }
+
+func (p *centralProto) Start(env *sim.Env, node int)                  {}
+func (p *centralProto) Deliver(env *sim.Env, node int, m sim.Message) {}
+
+func (p *centralProto) Issue(env *sim.Env, node int, token int, op countq.Op) {
+	if node == 0 {
+		p.grants.Grant(token, op.N)
+		return
+	}
+	env.Send(node, 0, sim.Message{Kind: 1, A: token})
+}
+
+// chaseProto picks a target per operation — grant locally or chase it
+// across the network, the distributed-queue shape.
+type chaseProto struct{ grants sim.Grants }
+
+func (p *chaseProto) Start(env *sim.Env, node int)                  {}
+func (p *chaseProto) Deliver(env *sim.Env, node int, m sim.Message) {}
+
+func (p *chaseProto) Issue(env *sim.Env, node int, token int, op countq.Op) {
+	target := int(op.ID) % 4
+	if target == node {
+		p.grants.Grant(token, 0)
+		return
+	}
+	env.Send(node, target, sim.Message{Kind: 2, A: token, B: node})
+}
+
+// stashProto parks every token in protocol state; a later Deliver owns
+// settling it.
+type pendingOp struct {
+	token  int
+	amount int64
+}
+
+type stashProto struct {
+	grants sim.Grants
+	queue  []pendingOp
+}
+
+func (p *stashProto) Start(env *sim.Env, node int)                  {}
+func (p *stashProto) Deliver(env *sim.Env, node int, m sim.Message) {}
+
+func (p *stashProto) Issue(env *sim.Env, node int, token int, op countq.Op) {
+	p.queue = append(p.queue, pendingOp{token: token, amount: op.N})
+}
+
+// helperProto routes the remote path through a helper that stores the
+// token unconditionally, so the caller's guarantee holds.
+type helperProto struct {
+	grants sim.Grants
+	queue  []pendingOp
+}
+
+func (p *helperProto) Start(env *sim.Env, node int)                  {}
+func (p *helperProto) Deliver(env *sim.Env, node int, m sim.Message) {}
+
+func (p *helperProto) enqueue(token int, amt int64) {
+	p.queue = append(p.queue, pendingOp{token: token, amount: amt})
+}
+
+func (p *helperProto) Issue(env *sim.Env, node int, token int, op countq.Op) {
+	if node == 0 {
+		p.grants.Grant(token, op.N)
+		return
+	}
+	p.enqueue(token, op.N)
+}

@@ -90,3 +90,27 @@ func cold() {
 	//countq:hotpath want "misplaced //countq:hotpath"
 	_ = 1
 }
+
+//countq:hotpath
+func hotSpread(r *ring, vals []int) {
+	r.buf = append(r.buf, vals...) // want `append\(s, v\.\.\.\) in a //countq:hotpath function`
+}
+
+//countq:hotpath
+func hotConcat(a, b string) string {
+	joined := a + b // want "string concatenation in a //countq:hotpath function"
+	return joined
+}
+
+//countq:hotpath
+func hotConcatChain(a, b, c string) string {
+	joined := a + b + c // want "string concatenation in a //countq:hotpath function"
+	return joined
+}
+
+//countq:hotpath
+func hotConcatAssign(tag string) string {
+	out := tag
+	out += "!" // want `string \+= concatenation in a //countq:hotpath function`
+	return out
+}

@@ -5,6 +5,7 @@
 package good
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -64,4 +65,36 @@ func batch(vs []int) func() []lane {
 		}
 		return out
 	}
+}
+
+// constJoin is folded at compile time: no runtime concatenation happens.
+//
+//countq:hotpath
+func constJoin() string {
+	const prefix = "count" + "q"
+	return prefix
+}
+
+//countq:hotpath
+func coldJoin(l *lane, what string) error {
+	if cap(l.buf) == len(l.buf) {
+		return errors.New("lane full: " + what) // cold path: feeds the return
+	}
+	l.buf = append(l.buf, 0)
+	return nil
+}
+
+//countq:hotpath
+func coldJoinPanic(l *lane, what string) {
+	if cap(l.buf) == len(l.buf) {
+		panic("lane full: " + what) // cold path: feeds a panic
+	}
+	l.buf = append(l.buf, 0)
+}
+
+// spreadCold batches however it likes — it is an unannotated amortized
+// helper.
+func spreadCold(l *lane, vals []int) {
+	l.reserve(len(vals))
+	l.buf = append(l.buf, vals...)
 }

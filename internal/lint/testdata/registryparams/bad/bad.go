@@ -71,3 +71,29 @@ func register() {
 		},
 	})
 }
+
+// readThrough reads one key through a handed-in getter method value.
+func readThrough(get func(string, int) int, key string) int {
+	return get(key, 0)
+}
+
+// registerSneaky reads two undeclared keys through method values — one
+// bound locally, one routed through a helper — and declares a key the
+// constructor never touches under either spelling.
+func registerSneaky() {
+	countq.RegisterStructure(countq.StructureInfo{
+		Name:  "sneaky-multi",
+		Kinds: countq.KindCounter | countq.KindQueue,
+		Params: []countq.ParamInfo{
+			{Name: "ghost", Default: "1", Doc: "never read"}, // want `declared param "ghost" is never read by the constructor`
+		},
+		Caps: countq.CapBatch | countq.CapAsync,
+		New: func(o countq.Options) (countq.Structure, error) {
+			getInt := o.Int
+			burst := getInt("burst", 1)            // want `constructor reads option key "burst" that Params does not declare`
+			window := readThrough(o.Int, "window") // want `constructor reads option key "window" that Params does not declare`
+			_, _ = burst, window
+			return richStructure{}, o.Err()
+		},
+	})
+}

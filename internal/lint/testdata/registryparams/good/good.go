@@ -83,3 +83,37 @@ func register() {
 		},
 	})
 }
+
+// readString reads one key through a getter method value handed in by
+// the caller — the analyzer must follow the value into the func-typed
+// parameter and credit the call-site key.
+func readString(get func(string, string) string, key string) string {
+	return get(key, "")
+}
+
+// newMulti reads its params through method values: one bound locally,
+// one passed to a helper.
+func newMulti(o countq.Options) (countq.Structure, error) {
+	width := o.Int("width", 4)
+	getInt := o.Int
+	retry := getInt("retry", 2)
+	label := readString(o.String, "label")
+	_, _, _ = width, retry, label
+	return queueStructure{}, o.Err()
+}
+
+// registerMulti serves both operation kinds, so the kind-gate does not
+// apply: its sessions' BatchSession side must be declared.
+func registerMulti() {
+	countq.RegisterStructure(countq.StructureInfo{
+		Name:  "multi-kind",
+		Kinds: countq.KindCounter | countq.KindQueue,
+		Params: []countq.ParamInfo{
+			{Name: "width", Default: "4", Doc: "fanout"},
+			{Name: "retry", Default: "2", Doc: "retry budget"},
+			{Name: "label", Default: "", Doc: "trace label"},
+		},
+		Caps: countq.CapBatch | countq.CapAsync,
+		New:  newMulti,
+	})
+}

@@ -1,0 +1,81 @@
+// Package bad seeds every nondeterminism the simdet analyzer bans inside
+// the deterministic region: wall-clock reads, map iteration, spawned
+// goroutines, channel operations, select, unseeded rand, and a runtime
+// sleep — one per protocol method or reachable helper. All of it
+// compiles, runs, and even produces correct counts most of the time;
+// only the golden traces drift, which no test that checks final state
+// can see.
+package bad
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/countq"
+	"repro/internal/sim"
+)
+
+// clockProto timestamps its start and aggregates through a map range.
+type clockProto struct {
+	last time.Time
+	seen map[int]int
+}
+
+func (p *clockProto) Start(env *sim.Env, node int) {
+	p.last = time.Now() // want "Start: time.Now in a function reachable from clockProto.Start \\(sim.Protocol\\)"
+}
+
+func (p *clockProto) Deliver(env *sim.Env, node int, m sim.Message) {
+	p.tally(m.A)
+}
+
+func (p *clockProto) tally(k int) {
+	p.seen[k]++
+	total := 0
+	for _, v := range p.seen { // want "tally: map iteration in a function reachable from clockProto.Deliver \\(sim.Protocol\\)"
+		total += v
+	}
+	_ = total
+}
+
+// spawnProto leaks scheduling order into the trace through a goroutine
+// and raw channel traffic.
+type spawnProto struct{ done chan int }
+
+func (p *spawnProto) Start(env *sim.Env, node int) {
+	go p.background(node) // want "Start: go statement in a function reachable from spawnProto.Start \\(sim.Protocol\\)"
+}
+
+func (p *spawnProto) background(node int) {
+	p.done <- node // want "background: channel send in a function reachable from spawnProto.Start \\(sim.Protocol\\)"
+}
+
+func (p *spawnProto) Deliver(env *sim.Env, node int, m sim.Message) {
+	select { // want "Deliver: select in a function reachable from spawnProto.Deliver \\(sim.Protocol\\)"
+	case v := <-p.done: // want "Deliver: channel receive in a function reachable from spawnProto.Deliver \\(sim.Protocol\\)"
+		_ = v
+	default:
+	}
+}
+
+// randTicker draws from the process-wide source each round.
+type randTicker struct{ weights []int }
+
+func (t *randTicker) Start(env *sim.Env, node int)                  {}
+func (t *randTicker) Deliver(env *sim.Env, node int, m sim.Message) {}
+
+func (t *randTicker) Tick(env *sim.Env, node int) {
+	t.weights[node] = rand.Intn(10) // want "Tick: rand.Intn in a function reachable from randTicker.Tick \\(sim.Ticker\\)"
+}
+
+// stallBridge sleeps on the issue path — real time inside simulated
+// time.
+type stallBridge struct{ grants sim.Grants }
+
+func (b *stallBridge) Start(env *sim.Env, node int)                  {}
+func (b *stallBridge) Deliver(env *sim.Env, node int, m sim.Message) {}
+
+func (b *stallBridge) Issue(env *sim.Env, node int, token int, op countq.Op) {
+	time.Sleep(time.Millisecond) // want "Issue: time.Sleep in a function reachable from stallBridge.Issue \\(sim.BridgeProtocol\\)"
+	b.grants.Grant(token, op.N)
+}

@@ -1,0 +1,58 @@
+// Package good holds the determinism-preserving idioms simdet must
+// accept: draws from an explicitly seeded *rand.Rand (the seed is part
+// of the trace's identity), keyed map reads and writes, slice ranges,
+// simulated time from the round counter, and a channel send tucked
+// behind a //countq:role boundary — the transport side ringrole audits.
+package good
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+type modelProto struct {
+	rng   *rand.Rand
+	seen  map[int]int
+	order []int
+	out   chan int
+}
+
+func newModelProto(seed int64) *modelProto {
+	return &modelProto{
+		rng:  rand.New(rand.NewSource(seed)),
+		seen: make(map[int]int),
+		out:  make(chan int, 1),
+	}
+}
+
+func (p *modelProto) Start(env *sim.Env, node int) {
+	if p.rng.Intn(2) == 1 {
+		env.Send(node, 0, sim.Message{Kind: 1, A: node})
+	}
+}
+
+func (p *modelProto) Deliver(env *sim.Env, node int, m sim.Message) {
+	p.seen[m.From]++
+	total := 0
+	for _, v := range p.order {
+		total += v
+	}
+	if p.seen[m.From] > total {
+		p.publish(m.From)
+	}
+}
+
+func (p *modelProto) Tick(env *sim.Env, node int) {
+	if env.Round()%2 == 0 {
+		p.order = append(p.order, node)
+	}
+}
+
+// publish crosses into the concurrent transport; the role annotation is
+// the boundary where simdet stops and ringrole takes over.
+//
+//countq:role=producer
+func (p *modelProto) publish(v int) {
+	p.out <- v
+}

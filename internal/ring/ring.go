@@ -67,6 +67,7 @@ func New[T any](capacity int) *SPSC[T] {
 // only.
 //
 //countq:hotpath
+//countq:role=producer
 func (r *SPSC[T]) Push(v T) bool {
 	t := r.tail.Load()
 	if t-r.head.Load() >= r.capv {
@@ -81,6 +82,7 @@ func (r *SPSC[T]) Push(v T) bool {
 // never pins consumed references. Consumer-side only.
 //
 //countq:hotpath
+//countq:role=consumer
 func (r *SPSC[T]) Pop() (T, bool) {
 	var zero T
 	h := r.head.Load()
@@ -99,6 +101,7 @@ func (r *SPSC[T]) Pop() (T, bool) {
 // Consumer-side only.
 //
 //countq:hotpath
+//countq:role=consumer
 func (r *SPSC[T]) DrainTo(buf []T) []T {
 	var zero T
 	h, t := r.head.Load(), r.tail.Load()
@@ -151,6 +154,7 @@ func (e *Event) Init() {
 // goroutines. The fast path — nobody parked — is a single atomic load.
 //
 //countq:hotpath
+//countq:role=producer
 func (e *Event) Wake() {
 	if e.parked.Load() == 0 {
 		return
@@ -170,6 +174,8 @@ func (e *Event) Wake() {
 // consumer MUST re-check its work sources before blocking on WakeChan
 // (work published before the parked flag was visible produced no signal),
 // and call Unpark if it decides not to block.
+//
+//countq:role=consumer
 func (e *Event) Prepare() {
 	// Drain any stale token first: doing it after Store could consume the
 	// signal a producer sends for this park (its CAS already flipped the
@@ -183,6 +189,8 @@ func (e *Event) Prepare() {
 
 // WakeChan is the channel the prepared consumer blocks on, exposed so it
 // can be combined in a select with shutdown or timeout channels.
+//
+//countq:role=consumer
 func (e *Event) WakeChan() <-chan struct{} {
 	return e.ch
 }
@@ -191,6 +199,8 @@ func (e *Event) WakeChan() <-chan struct{} {
 // its re-check, or is leaving the wait for another reason. A token a
 // producer sent meanwhile stays buffered and is drained by the next
 // Prepare.
+//
+//countq:role=consumer
 func (e *Event) Unpark() {
 	e.parked.Store(0)
 }
@@ -251,6 +261,7 @@ func (l *Lanes[T]) Remove(lane *SPSC[T]) {
 // no lock and no copy.
 //
 //countq:hotpath
+//countq:role=consumer
 func (l *Lanes[T]) Snapshot() []*SPSC[T] {
 	return *l.set.Load()
 }
@@ -258,13 +269,20 @@ func (l *Lanes[T]) Snapshot() []*SPSC[T] {
 // Wake signals the parked consumer; producers call it after Push.
 //
 //countq:hotpath
+//countq:role=producer
 func (l *Lanes[T]) Wake() { l.ev.Wake() }
 
 // Prepare announces the consumer's intent to park; see Event.Prepare.
+//
+//countq:role=consumer
 func (l *Lanes[T]) Prepare() { l.ev.Prepare() }
 
 // WakeChan is the parked consumer's signal channel; see Event.WakeChan.
+//
+//countq:role=consumer
 func (l *Lanes[T]) WakeChan() <-chan struct{} { return l.ev.WakeChan() }
 
 // Unpark retracts a Prepare; see Event.Unpark.
+//
+//countq:role=consumer
 func (l *Lanes[T]) Unpark() { l.ev.Unpark() }

@@ -97,6 +97,7 @@ func (c *combineCore) combine() {
 // combiner lock held; scratch is reused so steady state allocates nothing.
 //
 //countq:hotpath clocks=0
+//countq:role=consumer
 func (c *combineCore) sweep() {
 	for c.pending.Load() > 0 {
 		c.scratch = c.scratch[:0]
@@ -159,6 +160,7 @@ var errSessionClosed = fmt.Errorf("shm: session is closed")
 // and rolled back on a full lane before anything was published.
 //
 //countq:hotpath clocks=0
+//countq:role=producer
 func (s *combineSession) publish(e asyncEntry) bool {
 	s.core.pending.Add(1)
 	if !s.slot.Push(e) {

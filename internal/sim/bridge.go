@@ -202,6 +202,7 @@ type syncGrant struct {
 // session's straggler window stays balanced.
 //
 //countq:hotpath
+//countq:role=producer
 func settle(o bridgeOp, c countq.Completion) {
 	s := o.sess
 	if o.async {
@@ -403,6 +404,7 @@ func (b *Bridge) Close() error {
 // will arrive.
 //
 //countq:hotpath
+//countq:role=producer
 func (s *bridgeSession) send(ctx context.Context, o bridgeOp) error {
 	s.b.closeMu.RLock()
 	if s.b.closed {
@@ -453,6 +455,7 @@ func (b *Bridge) pump(nw *Network, bp BridgeProtocol, table *grantTable) {
 // fixed session set — and issues the swept batch into the protocol.
 //
 //countq:hotpath
+//countq:role=consumer
 func (b *Bridge) inject(env *Env, bp BridgeProtocol, table *grantTable) int {
 	injected := 0
 	for _, lane := range b.sub.Snapshot() {
@@ -474,6 +477,7 @@ func (b *Bridge) inject(env *Env, bp BridgeProtocol, table *grantTable) int {
 // parks on the lanes' eventcount.
 //
 //countq:hotpath
+//countq:role=consumer
 func (b *Bridge) pumpLoop(nw *Network, bp BridgeProtocol, table *grantTable) {
 	env := nw.Env()
 	if err := nw.Begin(); err != nil {
@@ -556,6 +560,8 @@ func (b *Bridge) pumpLoop(nw *Network, bp BridgeProtocol, table *grantTable) {
 // failLanes sweeps every session lane and resolves the swept operations
 // with err. Runs on whichever goroutine currently owns the consumer role
 // (the pump, or Close after the pump exited).
+//
+//countq:role=consumer
 func (b *Bridge) failLanes(err error) {
 	for _, lane := range b.sub.Snapshot() {
 		b.scratch = lane.DrainTo(b.scratch[:0])
@@ -567,6 +573,8 @@ func (b *Bridge) failLanes(err error) {
 
 // fail resolves everything pending with err and then answers every further
 // submission with it until the bridge is closed.
+//
+//countq:role=consumer
 func (b *Bridge) fail(table *grantTable, err error) {
 	table.failAll(err)
 	for {
@@ -658,6 +666,8 @@ func (s *bridgeSession) abandon(seq uint64) {
 // grants have resolved (dropped or reaped) that the live grant plus every
 // straggler still in flight fits the ring. Cold — only runs after
 // syncWindow-1 round trips were cancelled with their grants unresolved.
+//
+//countq:role=consumer
 func (s *bridgeSession) waitStragglers(ctx context.Context) error {
 	for s.abandoned-s.reaped-int(s.dropped.Load()) >= syncWindow {
 		if _, ok := s.grants.Pop(); ok {
@@ -684,6 +694,7 @@ func (s *bridgeSession) waitStragglers(ctx context.Context) error {
 // the session eventcount.
 //
 //countq:hotpath
+//countq:role=consumer
 func (s *bridgeSession) roundTrip(ctx context.Context, op countq.Op) (int64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
